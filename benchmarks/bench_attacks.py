@@ -1,0 +1,33 @@
+"""Attack-matrix regeneration: the security half of the evaluation."""
+
+import pytest
+
+from repro.attacks import (
+    AttackOutcome,
+    code_injection,
+    interrupt_context_tamper,
+    pointer_hijack,
+    return_address_smash,
+)
+
+ATTACKS = [return_address_smash, interrupt_context_tamper, pointer_hijack,
+           code_injection]
+
+
+@pytest.mark.parametrize("attack", ATTACKS, ids=lambda a: a.__name__)
+def test_bench_attack_on_eilid(benchmark, attack):
+    result = benchmark.pedantic(attack, args=("eilid",), rounds=1, iterations=1)
+    assert result.outcome is AttackOutcome.RESET
+    benchmark.extra_info["violation"] = str(result.violations[0].reason.value)
+
+
+def test_print_attack_matrix(capsys):
+    rows = []
+    for attack in ATTACKS:
+        outcomes = [attack(security).outcome.value for security in ("none", "casu", "eilid")]
+        rows.append((attack.__name__, *outcomes))
+    with capsys.disabled():
+        print("\nattack matrix (baseline / CASU / EILID):")
+        for name, a, b, c in rows:
+            print(f"  {name:28s} {a:10s} {b:10s} {c}")
+    assert all(row[3] == "reset" for row in rows)

@@ -1,0 +1,85 @@
+"""Fig. 9 flow: secure-state round trip through entry/body/leave, and
+the ablation sweeps called out in DESIGN.md (indirect-table size and
+shadow-stack capacity)."""
+
+import pytest
+
+from repro.device import build_device
+from repro.eilid.policy import EilidPolicy
+from repro.eilid.trusted_sw import TrustedSoftware
+from repro.memory.map import MemoryLayout
+from repro.toolchain import link, parse_source
+
+_DRIVER = """
+    .text
+__start:
+    mov #0x0a00, r1
+__halt:
+    jmp __halt
+    .vector 15, __start
+"""
+
+
+def rom_device(policy=None):
+    layout = MemoryLayout.default()
+    trusted = TrustedSoftware(layout, policy or EilidPolicy())
+    units = [
+        parse_source(_DRIVER, "driver.s"),
+        parse_source(trusted.shims_source(), "eilid_shims.s"),
+        parse_source(trusted.rom_source(), "eilid_rom.s"),
+    ]
+    return build_device(link(units, name="fig9", layout=layout), security="eilid")
+
+
+def test_bench_fig9_store_check_roundtrip(benchmark):
+    """One full secure-state round trip per operation pair."""
+    device = rom_device()
+    device.call_routine("NS_EILID_init")
+
+    def pair():
+        assert device.call_routine("NS_EILID_store_ra", regs={6: 0xE200}) == []
+        assert device.call_routine("NS_EILID_check_ra", regs={6: 0xE200}) == []
+
+    benchmark(pair)
+
+
+@pytest.mark.parametrize("functions", [2, 8, 16])
+def test_bench_check_ind_scales_with_table(benchmark, functions):
+    """Ablation: the linear table search costs O(#functions)."""
+    policy = EilidPolicy(table_capacity=max(16, functions))
+    device = rom_device(policy)
+    device.call_routine("NS_EILID_init")
+    for index in range(functions):
+        device.call_routine("NS_EILID_store_ind", regs={6: 0xE000 + 2 * index})
+    worst = 0xE000  # first-registered = last found by the backwards scan
+
+    def check():
+        assert device.call_routine("NS_EILID_check_ind", regs={6: worst}) == []
+
+    cycles_before = device.cycle
+    check()
+    benchmark.extra_info["device_cycles_per_check"] = device.cycle - cycles_before
+    benchmark(check)
+
+
+@pytest.mark.parametrize("capacity_bytes", [64, 128, 256])
+def test_shadow_capacity_vs_depth(capacity_bytes, capsys):
+    """Ablation: deepest supported call chain per shadow-stack size."""
+    layout = MemoryLayout.default(shadow_stack_bytes=capacity_bytes)
+    policy = EilidPolicy(table_capacity=4)
+    trusted = TrustedSoftware(layout, policy)
+    units = [
+        parse_source(_DRIVER, "driver.s"),
+        parse_source(trusted.shims_source(), "eilid_shims.s"),
+        parse_source(trusted.rom_source(), "eilid_rom.s"),
+    ]
+    device = build_device(link(units, name="cap", layout=layout), security="eilid")
+    device.call_routine("NS_EILID_init")
+    depth = 0
+    while device.call_routine("NS_EILID_store_ra", regs={6: 0xE000}) == []:
+        depth += 1
+        assert depth < 1000
+    expected = trusted.plan.shadow_capacity_words
+    assert depth == expected
+    with capsys.disabled():
+        print(f"\nshadow stack {capacity_bytes}B -> depth {depth} frames before reset")

@@ -1,0 +1,13 @@
+"""Figure 10 regeneration: hardware overhead comparison."""
+
+from repro.eval.figure10 import generate_figure10, render_figure10
+
+
+def test_bench_figure10(benchmark, capsys):
+    data = benchmark(generate_figure10)
+    with capsys.disabled():
+        print("\n" + render_figure10(data))
+    index = data.names.index("EILID")
+    assert data.luts[index] == 99 and data.registers[index] == 34
+    assert round(data.eilid_lut_pct, 1) == 5.3
+    assert round(data.eilid_register_pct, 1) == 4.9

@@ -1,0 +1,14 @@
+"""Sec. VI micro numbers: store/check path cost per protected call."""
+
+from repro.eval.microbench import measure_micro, render_micro
+
+
+def test_bench_micro_paths(benchmark, capsys):
+    result = benchmark.pedantic(measure_micro, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + render_micro(result))
+    benchmark.extra_info["store_cycles"] = result.store_cycles
+    benchmark.extra_info["check_cycles"] = result.check_cycles
+    # Paper shape: check > store, ratio ~1.14x, per-op cost fixed.
+    assert result.check_cycles > result.store_cycles
+    assert 1.0 < result.check_to_store_ratio < 1.5

@@ -1,0 +1,32 @@
+"""Tables I-III regeneration benchmarks (static tables; the benchmark
+verifies the generators and prints each table once)."""
+
+from repro.eval import (
+    generate_table1,
+    generate_table2,
+    generate_table3,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+
+def test_bench_table1(benchmark, capsys):
+    rows = benchmark(generate_table1)
+    assert len(rows) == 10
+    with capsys.disabled():
+        print("\n" + render_table1())
+
+
+def test_bench_table2(benchmark, capsys):
+    rows = benchmark(generate_table2)
+    assert len(rows) == 3
+    with capsys.disabled():
+        print("\n" + render_table2())
+
+
+def test_bench_table3(benchmark, capsys):
+    rows = benchmark(generate_table3)
+    assert len(rows) == 3
+    with capsys.disabled():
+        print("\n" + render_table3())

@@ -1,0 +1,10 @@
+"""Benchmark fixtures: shared builder so library parses are cached."""
+
+import pytest
+
+from repro.eilid.iterbuild import IterativeBuild
+
+
+@pytest.fixture(scope="session")
+def builder():
+    return IterativeBuild()

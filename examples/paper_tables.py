@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Equivalent to ``eilid tables && eilid figure10 && eilid micro``; takes
+a couple of minutes because Table IV rebuilds and re-runs all seven
+applications.
+"""
+
+from repro.eval import (
+    measure_table4,
+    render_figure10,
+    render_micro,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+
+def main():
+    for render in (render_table1, render_table2, render_table3):
+        print(render())
+        print()
+    print(render_figure10())
+    print()
+    print(render_micro())
+    print()
+    print("measuring Table IV (7 apps x 2 variants x 3 repeats) ...")
+    print(render_table4(measure_table4(repeats=3)))
+
+
+if __name__ == "__main__":
+    main()

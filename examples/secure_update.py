@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""CASU secure update: the only legal way to change PMEM.
+
+Shows the full update flow EILID inherits from CASU: a signed package
+is verified (HMAC + monotonic version), staged into RAM, and copied
+into program memory by the trusted ROM routine while the hardware
+monitor's update session is open.  Every other path to PMEM resets the
+device.
+"""
+
+from repro.casu.update import UpdateKey, UpdatePackage
+from repro.device import build_device
+from repro.eilid.iterbuild import IterativeBuild
+from repro.toolchain.build import SourceModule
+
+APP = """
+    .text
+    .global main
+main:
+    mov #1, &0x0070
+l:
+    jmp l
+"""
+
+
+def make_device():
+    builder = IterativeBuild()
+    modules = [
+        SourceModule("crt0.s", builder.trusted.crt0_source(eilid_enabled=False)),
+        SourceModule("app.s", APP, is_app=True),
+        SourceModule("eilid_rom.s", builder.trusted.rom_source()),
+    ]
+    build = builder.pipeline.build(modules, name="update-demo")
+    key = UpdateKey.derive("update-demo")
+    return build_device(build.program, security="casu", update_key=key), key
+
+
+def main():
+    device, key = make_device()
+    target = 0xE800
+    payload = bytes((0xAD, 0xDE, 0xEF, 0xBE))  # two little-endian words
+
+    print("1. a valid signed update (version 1):")
+    package = UpdatePackage.make(key, target, payload, version=1)
+    result = device.apply_update(package)
+    print(f"   -> {result.status.value}; PMEM[0x{target:04x}] = "
+          f"0x{device.peek_word(target):04x} 0x{device.peek_word(target + 2):04x}")
+    assert result.ok and device.peek_word(target) == 0xDEAD
+
+    print("2. a tampered payload (one byte flipped):")
+    result = device.apply_update(
+        UpdatePackage.make(key, target, b"\x00\x11", version=2).tampered()
+    )
+    print(f"   -> {result.status.value}")
+    assert not result.ok
+
+    print("3. a replayed/stale version:")
+    result = device.apply_update(UpdatePackage.make(key, target, b"\x22\x33", version=1))
+    print(f"   -> {result.status.value}")
+    assert not result.ok
+
+    print("4. the same ROM copy routine WITHOUT an open update session:")
+    staging = device.layout.dmem.start + 6
+    device.bus.load_bytes(staging, b"\x66\x77")
+    violations = device.call_routine(
+        "S_CASU_update_copy", regs={15: staging, 14: target, 13: 1}
+    )
+    print(f"   -> device reset: {violations[0]}")
+    assert violations and device.peek_word(target) == 0xDEAD  # unchanged
+
+    print("\nsecure update OK: only authenticated, session-gated copies land.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Sensor-node walkthrough: a Table IV application end to end.
+
+Runs the Fire Sensor (the paper's most demanding app: two ADC channels,
+a timer ISR, and an indirect alarm dispatch) in both variants, shows
+that the observable behaviour is identical, and prints the measured
+overhead next to the paper's Table IV row.
+"""
+
+from repro.apps import get_app, run_app
+from repro.apps.runtime import build_app
+from repro.eval.paper_data import PAPER_TABLE4
+
+
+def main():
+    spec = get_app("fire_sensor")
+    print(f"app: {spec.title} -- {spec.description}")
+
+    original = run_app(spec, "original")
+    eilid = run_app(spec, "eilid")
+    build_orig = build_app(spec, "original")
+    build_eilid = build_app(spec, "eilid")
+
+    print(f"\noriginal: {original.cycles} cycles ({original.run_time_us:.0f} us)")
+    print(f"EILID:    {eilid.cycles} cycles ({eilid.run_time_us:.0f} us), "
+          f"violations={len(eilid.violations)}")
+
+    assert original.done and eilid.done and not eilid.violations
+    same_output = original.output_events() == eilid.output_events()
+    print(f"observable output identical: {same_output}")
+    assert same_output
+
+    run_pct = 100.0 * (eilid.cycles - original.cycles) / original.cycles
+    size_pct = 100.0 * (build_eilid.app_code_bytes - build_orig.app_code_bytes) \
+        / build_orig.app_code_bytes
+    paper = PAPER_TABLE4[spec.name]
+    print(f"\n              measured   paper")
+    print(f"run overhead  {run_pct:7.2f}%  {paper.run_overhead_pct:6.2f}%")
+    print(f"size overhead {size_pct:7.2f}%  {paper.size_overhead_pct:6.2f}%")
+    print(f"binary bytes  {build_orig.app_code_bytes}/{build_eilid.app_code_bytes}   "
+          f"{paper.size_bytes_orig}/{paper.size_bytes_eilid}")
+
+    alarms = eilid.done_value
+    ticks = eilid.device.peripherals["timer"].fire_count
+    print(f"\nscenario: {alarms} alarm activations, {ticks} watchdog ticks, "
+          f"{eilid.device.peripherals['adc'].sample_count} ADC conversions")
+
+
+if __name__ == "__main__":
+    main()

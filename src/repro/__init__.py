@@ -1,0 +1,28 @@
+"""EILID reproduction: execution integrity for low-end IoT devices.
+
+A full-system reproduction of *EILID: Execution Integrity for Low-end
+IoT Devices* (DATE 2025): a cycle-accurate MSP430-class simulator, an
+assembler/linker toolchain, a mini-C compiler, the CASU active
+root-of-trust (hardware monitor + authenticated update), the EILID
+instrumenter / trusted runtime / secure shadow stack, the paper's seven
+evaluation applications, an attack suite, and a verification layer
+(model-checked monitor properties + runtime control-flow oracles).
+
+Quickstart::
+
+    from repro.minicc import compile_c
+    from repro.eilid.iterbuild import IterativeBuild
+    from repro.device import build_device
+
+    asm = compile_c(open("app.c").read(), "app")
+    result = IterativeBuild().build_eilid(asm, "app.s")
+    device = build_device(result.final.program, security="eilid")
+    print(device.run())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,75 @@
+"""Build and run applications in both variants (original / EILID).
+
+``run_app`` is the measurement unit behind Table IV's "running time"
+column: the device executes the app's scripted scenario until the DONE
+write, and the elapsed cycle count at 100 MHz gives microseconds.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.device import Device, build_device
+from repro.eilid.iterbuild import IterativeBuild
+from repro.eilid.policy import EilidPolicy
+from repro.errors import ReproError
+from repro.minicc import compile_c
+
+
+@dataclass
+class AppRun:
+    app_name: str
+    variant: str  # "original" | "eilid"
+    device: Device
+    cycles: int
+    done: bool
+    done_value: Optional[int]
+    violations: list
+
+    @property
+    def run_time_us(self):
+        return self.cycles / 100.0
+
+    def output_events(self):
+        """Observable I/O trace (for original-vs-EILID equivalence)."""
+        events = []
+        for peripheral in self.device.peripherals.values():
+            events.extend(peripheral.events)
+        events.sort(key=lambda e: (e.cycle, e.port))
+        return [(e.port, e.value) for e in events if e.port != "harness.done"]
+
+
+def build_app(spec, variant="original", builder: Optional[IterativeBuild] = None,
+              policy: Optional[EilidPolicy] = None, verify_convergence=False):
+    """Compile + assemble + (optionally) instrument one application.
+
+    Returns the final :class:`repro.toolchain.BuildResult`.
+    """
+    builder = builder or IterativeBuild(policy=policy)
+    asm = compile_c(spec.c_source, spec.name)
+    app_file = f"{spec.name}.s"
+    if variant == "original":
+        return builder.build_original(asm, app_file)
+    if variant == "eilid":
+        result = builder.build_eilid(asm, app_file, verify_convergence=verify_convergence)
+        return result.final
+    raise ReproError(f"unknown variant {variant!r}")
+
+
+def run_app(spec, variant="original", builder: Optional[IterativeBuild] = None,
+            security: Optional[str] = None, max_cycles: Optional[int] = None) -> AppRun:
+    """Build and execute one application to its DONE hand-off."""
+    build = build_app(spec, variant, builder)
+    if security is None:
+        security = "eilid" if variant == "eilid" else "none"
+    device = build_device(build.program, security=security,
+                          peripherals=spec.make_peripherals())
+    result = device.run(max_cycles=max_cycles or spec.max_cycles)
+    return AppRun(
+        app_name=spec.name,
+        variant=variant,
+        device=device,
+        cycles=result.cycles,
+        done=result.done,
+        done_value=result.done_value,
+        violations=result.violations,
+    )

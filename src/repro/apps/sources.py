@@ -1,0 +1,279 @@
+"""mini-C sources of the seven Table IV applications.
+
+MMIO map (see ``repro.peripherals.ports``): GPIO 0x10/0x12/0x14,
+timer 0x20/0x22/0x24, ADC 0x30/0x32, UART 0x40/0x42/0x44,
+LCD 0x50/0x52/0x54, ultrasonic 0x60/0x62, DONE 0x70.
+
+Each program runs a fixed scripted scenario and writes the DONE port;
+the device cycle count at that write is the Table IV "running time".
+"""
+
+LIGHT_SENSOR_C = """
+// Seeed LaunchPad LightSensor: threshold an ambient-light ADC channel
+// and drive the indicator LED on change.
+int reading;
+int led;
+
+int sample_light() {
+    __mmio_write(0x0030, 8);              // start conversion, channel 0
+    int v = __mmio_read(0x0032);
+    if (v > 500) {
+        if (led == 0) { led = 1; __mmio_write(0x0010, 1); }
+    } else {
+        if (led == 1) { led = 0; __mmio_write(0x0010, 0); }
+    }
+    return v;
+}
+
+void main() {
+    led = 0;
+    for (int i = 0; i < 40; i = i + 1) {
+        reading = sample_light();
+        int d = 12;                        // sensor settling delay
+        while (d > 0) { d = d - 1; }
+    }
+    __mmio_write(0x0070, reading);
+}
+"""
+
+ULTRASONIC_RANGER_C = """
+// Seeed UltrasonicRanger: trigger a ping, time the echo pulse width,
+// convert to centimetres, report over UART.
+int distance;
+int readings;
+
+int wait_high() {
+    int guard = 2000;
+    while (guard > 0) {
+        if (__mmio_read(0x0062) == 1) { return guard; }
+        guard = guard - 1;
+    }
+    return 0;
+}
+
+int measure() {
+    __mmio_write(0x0060, 1);               // trigger ping
+    wait_high();
+    int width = 0;
+    while (__mmio_read(0x0062) == 1) { width = width + 1; }
+    return width;
+}
+
+int to_centimeters(int width) {
+    return (width * 10) / 58;
+}
+
+void main() {
+    readings = 0;
+    for (int i = 0; i < 60; i = i + 1) {
+        int w = measure();
+        distance = to_centimeters(w);
+        __mmio_write(0x0040, distance);
+        readings = readings + 1;
+    }
+    __mmio_write(0x0070, readings);
+}
+"""
+
+FIRE_SENSOR_C = """
+// Seeed FireSensor: fuse a flame channel and a temperature channel;
+// dispatch the alarm state through a handler pointer (indirect call)
+// while a timer interrupt keeps a watchdog tick count.
+int flame;
+int temperature;
+int alarms;
+int ticks;
+int handler;
+
+__interrupt(9) void tick_isr() {
+    ticks = ticks + 1;
+}
+
+int read_channel(int ch) {
+    __mmio_write(0x0030, 8 | ch);
+    return __mmio_read(0x0032);
+}
+
+void alarm_on() {
+    alarms = alarms + 1;
+    __mmio_write(0x0010, 3);
+}
+
+void alarm_off() {
+    __mmio_write(0x0010, 0);
+}
+
+void main() {
+    ticks = 0;
+    alarms = 0;
+    handler = alarm_off;
+    __mmio_write(0x0024, 3000);            // timer compare value
+    __mmio_write(0x0020, 3);               // timer enable + irq
+    __enable_interrupts();
+    for (int i = 0; i < 150; i = i + 1) {
+        flame = (flame + read_channel(1)) >> 1;      // smooth
+        temperature = (temperature + read_channel(2)) >> 1;
+        if (flame > 600 || temperature > 650) {
+            handler = alarm_on;
+        } else {
+            handler = alarm_off;
+        }
+        handler();                          // forward edge under P3
+        int d = 55;
+        while (d > 0) { d = d - 1; }
+    }
+    __disable_interrupts();
+    __mmio_write(0x0070, alarms);
+}
+"""
+
+SYRINGE_PUMP_C = """
+// OpenSyringePump: read 'f'/'r' + digit commands from UART and drive
+// the stepper coils one pulse per step.
+int steps_done;
+int position;
+
+int read_command() {
+    while ((__mmio_read(0x0044) & 1) == 0) { }
+    return __mmio_read(0x0042);
+}
+
+void coil_pulse(int dir) {
+    __mmio_write(0x0010, 4 | dir);
+    int d = 55;                             // coil energise time
+    while (d > 0) { d = d - 1; }
+    __mmio_write(0x0010, 0);
+}
+
+void step_motor(int dir) {
+    coil_pulse(dir);
+    steps_done = steps_done + 1;
+    if (dir == 1) { position = position - 1; }
+    else { position = position + 1; }
+}
+
+void main() {
+    steps_done = 0;
+    position = 0;
+    for (int c = 0; c < 8; c = c + 1) {
+        int cmd = read_command();
+        int count = read_command() - '0';
+        int dir = 0;
+        if (cmd == 'r') { dir = 1; }
+        for (int s = 0; s < count; s = s + 1) {
+            step_motor(dir);
+        }
+    }
+    __mmio_write(0x0070, steps_done);
+}
+"""
+
+TEMP_SENSOR_C = """
+// ticepd temp sensor: a timer interrupt paces the sampling; an 8-tap
+// moving average smooths the channel before it is reported over UART.
+int history[8];
+int idx;
+int average;
+int ready;
+int samples;
+
+__interrupt(9) void sample_tick() {
+    ready = 1;
+}
+
+int read_temp() {
+    __mmio_write(0x0030, 8 | 3);
+    return __mmio_read(0x0032);
+}
+
+void main() {
+    idx = 0;
+    samples = 0;
+    ready = 0;
+    average = 0;
+    __mmio_write(0x0024, 2600);
+    __mmio_write(0x0020, 3);
+    __enable_interrupts();
+    while (samples < 40) {
+        while (ready == 0) { }
+        ready = 0;
+        history[idx] = read_temp();
+        idx = (idx + 1) & 7;
+        int sum = 0;
+        for (int k = 0; k < 8; k = k + 1) { sum = sum + history[k]; }
+        average = sum >> 3;
+        __mmio_write(0x0040, average);
+        int d = 45;                         // signal conditioning time
+        while (d > 0) { d = d - 1; }
+        samples = samples + 1;
+    }
+    __disable_interrupts();
+    __mmio_write(0x0070, average);
+}
+"""
+
+CHARLIEPLEXING_C = """
+// ticepd charlieplexing: scan a 12-LED matrix; each LED needs its own
+// pin-direction setup and a hold time, so the scan is delay-dominated.
+int frames;
+int pattern;
+
+void light_led(int index) {
+    int dir = 1 << (index & 7);
+    __mmio_write(0x0014, dir);              // tri-state all but this pair
+    __mmio_write(0x0010, pattern & dir);
+    int d = 30;                              // LED hold time
+    while (d > 0) { d = d - 1; }
+    __mmio_write(0x0010, 0);
+}
+
+void main() {
+    pattern = 0x2d;
+    frames = 0;
+    for (int f = 0; f < 25; f = f + 1) {
+        for (int i = 0; i < 12; i = i + 1) {
+            light_led(i);
+        }
+        pattern = ((pattern << 1) | (pattern >> 7)) & 255;
+        frames = frames + 1;
+    }
+    __mmio_write(0x0070, frames);
+}
+"""
+
+LCD_SENSOR_C = """
+// ticepd LCD demo: HD44780-style init, then show a 3-digit sensor
+// value each frame; every controller access polls the busy flag.
+int shown;
+int frames_done;
+
+void lcd_cmd(int c) {
+    while ((__mmio_read(0x0054) & 128) != 0) { }
+    __mmio_write(0x0050, c);
+}
+
+void lcd_putc(int ch) {
+    while ((__mmio_read(0x0054) & 128) != 0) { }
+    __mmio_write(0x0052, ch);
+}
+
+void main() {
+    lcd_cmd(0x38);                           // 8-bit, 2 lines
+    lcd_cmd(0x0c);                           // display on
+    lcd_cmd(0x01);                           // clear
+    frames_done = 0;
+    for (int f = 0; f < 40; f = f + 1) {
+        __mmio_write(0x0030, 8 | 4);
+        int v = __mmio_read(0x0032);
+        lcd_cmd(0x80);                       // cursor home
+        lcd_putc('0' + v / 100);
+        lcd_putc('0' + (v / 10) % 10);
+        lcd_putc('0' + v % 10);
+        shown = v;
+        int d = 220;                         // frame delay
+        while (d > 0) { d = d - 1; }
+        frames_done = frames_done + 1;
+    }
+    __mmio_write(0x0070, frames_done);
+}
+"""

@@ -1,0 +1,39 @@
+"""Control-flow attack suite.
+
+Implements the adversary of the paper's threat model (Sec. III-B): full
+knowledge of the software, arbitrary run-time tampering with stack/heap
+data (return addresses, function pointers, interrupt contexts), and
+code-injection attempts -- exercised against three device builds
+(baseline / CASU / EILID) to reproduce the protection matrix in
+DESIGN.md.
+
+Attacks are modelled as precise memory corruptions applied at a chosen
+execution point, standing in for the memory-vulnerability exploitation
+step the paper assumes; what the defence sees (a corrupted word used in
+a control transfer) is identical.
+"""
+
+from repro.attacks.harness import AttackOutcome, AttackResult, AttackHarness
+from repro.attacks.rop import return_address_smash
+from repro.attacks.isr import interrupt_context_tamper
+from repro.attacks.indirect import pointer_hijack, pointer_bend_to_valid_function
+from repro.attacks.injection import (
+    code_injection,
+    pmem_overwrite,
+    shadow_stack_tamper,
+    rom_mid_entry_jump,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "AttackResult",
+    "AttackHarness",
+    "return_address_smash",
+    "interrupt_context_tamper",
+    "pointer_hijack",
+    "pointer_bend_to_valid_function",
+    "code_injection",
+    "pmem_overwrite",
+    "shadow_stack_tamper",
+    "rom_mid_entry_jump",
+]

@@ -1,0 +1,81 @@
+"""Attack execution and outcome classification."""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.attacks.victims import UNLOCK_MARKER, build_victim
+from repro.casu.monitor import Violation
+
+
+class AttackOutcome(enum.Enum):
+    HIJACKED = "hijacked"  # attacker goal reached, device kept running
+    RESET = "reset"  # a monitor violation reset the device
+    NO_EFFECT = "no-effect"  # corruption applied but goal not reached
+    ALLOWED = "allowed"  # in-policy behaviour (e.g. bend to a valid function)
+
+
+@dataclass
+class AttackResult:
+    name: str
+    security: str
+    outcome: AttackOutcome
+    violations: List[Violation] = field(default_factory=list)
+    detail: str = ""
+
+    @property
+    def defended(self):
+        return self.outcome is AttackOutcome.RESET
+
+    def __str__(self):
+        extra = f" ({self.violations[0]})" if self.violations else ""
+        return f"{self.name} vs {self.security}: {self.outcome.value}{extra} {self.detail}".rstrip()
+
+
+class AttackHarness:
+    """Drives one attack scenario against one victim device.
+
+    The flow models the paper's adversary: run the victim normally,
+    apply a surgical memory corruption at the chosen point (the stand-in
+    for exploiting a memory vulnerability), let execution continue, and
+    observe whether the attacker's goal (the 0xAA unlock marker) is
+    reached, the device resets, or nothing happens.
+    """
+
+    def __init__(self, security: str):
+        self.security = security
+        self.device, self.build = build_victim(security)
+
+    @property
+    def program(self):
+        return self.build.program if hasattr(self.build, "program") else self.build.final.program
+
+    def symbol(self, name):
+        return self.device.program.symbols[name]
+
+    def run_to(self, pc_values, max_cycles=500_000):
+        return self.device.run(break_at=set(pc_values), max_cycles=max_cycles,
+                               stop_on_done=False)
+
+    def hijack_evidence(self):
+        gpio = self.device.peripherals["gpio"]
+        return UNLOCK_MARKER in gpio.event_values("gpio.out")
+
+    def finish(self, name, corruption_detail="", max_cycles=500_000) -> AttackResult:
+        result = self.device.run(max_cycles=max_cycles)
+        # Evidence first: if the attacker's payload ran, the attack
+        # succeeded even when the device crashed/reset *afterwards* (a
+        # late W-xor-X reset does not undo the privileged action).
+        if self.hijack_evidence():
+            outcome = AttackOutcome.HIJACKED
+        elif result.violations:
+            outcome = AttackOutcome.RESET
+        else:
+            outcome = AttackOutcome.NO_EFFECT
+        return AttackResult(
+            name=name,
+            security=self.security,
+            outcome=outcome,
+            violations=result.violations,
+            detail=corruption_detail,
+        )

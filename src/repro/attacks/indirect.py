@@ -1,0 +1,57 @@
+"""Forward-edge attacks: corrupt the telemetry hook pointer (P3).
+
+Two variants, matching the paper's precise claim:
+
+* :func:`pointer_hijack` redirects the hook *into the middle* of a
+  function -- not a legal entry point.  EILID's table check resets;
+  baseline and CASU execute the attacker's gadget.
+* :func:`pointer_bend_to_valid_function` redirects the hook to another
+  *valid* function entry.  EILID explicitly allows this (Sec. IV-A:
+  function-level forward-edge CFI; the paper argues the risk is low on
+  small firmware).  The attack harness classifies this as ``ALLOWED``
+  on EILID -- reproducing the admitted limitation, not a bug.
+"""
+
+from repro.attacks.harness import AttackHarness, AttackOutcome, AttackResult
+
+
+def _corrupt_hook(harness, target):
+    """Overwrite the global hook pointer before the next dispatch."""
+    main_entry = harness.symbol("main")
+    harness.run_to({main_entry})  # let crt0 + table registration finish
+    # Step until the hook has been initialised, then corrupt it.
+    op_addr = harness.symbol("op")
+    process = harness.symbol("process")
+    for _ in range(6_000):
+        if harness.device.peek_word(op_addr) == process:
+            break
+        record, violation = harness.device.step()
+        if violation is not None:
+            return False
+    harness.device.bus.poke_word(op_addr, target)
+    return True
+
+
+def pointer_hijack(security: str) -> AttackResult:
+    harness = AttackHarness(security)
+    gadget = harness.symbol("unlock") + 2  # mid-function: skips the prologue
+    if not _corrupt_hook(harness, gadget):
+        return harness.finish("pointer-hijack", "setup failed")
+    return harness.finish(
+        "pointer-hijack", corruption_detail=f"op -> unlock+2 (0x{gadget:04x})"
+    )
+
+
+def pointer_bend_to_valid_function(security: str) -> AttackResult:
+    harness = AttackHarness(security)
+    target = harness.symbol("unlock")  # a legal entry in the function table
+    if not _corrupt_hook(harness, target):
+        return harness.finish("pointer-bend", "setup failed")
+    result = harness.finish(
+        "pointer-bend-to-valid-function",
+        corruption_detail=f"op -> unlock (0x{target:04x}) [legal table entry]",
+    )
+    if result.outcome is AttackOutcome.HIJACKED and security == "eilid":
+        # Function-level CFI admits this by design (paper Sec. IV-A).
+        result.outcome = AttackOutcome.ALLOWED
+    return result

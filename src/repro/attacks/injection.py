@@ -1,0 +1,92 @@
+"""Code-injection and memory-isolation attacks.
+
+* :func:`code_injection` -- write shellcode into DMEM and divert a
+  return into it (the classic stack-smash the W-xor-X policy kills).
+* :func:`pmem_overwrite` -- firmware writes its own code region (CASU's
+  core guarantee: PMEM is immutable outside authenticated updates).
+* :func:`shadow_stack_tamper` -- untrusted code touches the secure
+  shadow-stack bank (the EILID hardware extension).
+* :func:`rom_mid_entry_jump` -- branch into the middle of the trusted
+  ROM, bypassing the entry section (ROM atomicity).
+"""
+
+from repro.attacks.harness import AttackHarness, AttackOutcome, AttackResult
+from repro.attacks.victims import (
+    PMEM_WRITER_ASM,
+    ROM_JUMP_ASM,
+    SECURE_RAM_READER_ASM,
+    UNLOCK_MARKER,
+)
+from repro.device import build_device
+from repro.eilid.iterbuild import IterativeBuild
+from repro.peripherals.ports import GPIO_OUT
+
+# Hand-assembled shellcode: `mov #0xAA, &GPIO_OUT ; jmp $`
+# (the attacker's payload writes the hijack marker then parks).
+_SHELLCODE_WORDS = (0x40B2, UNLOCK_MARKER, GPIO_OUT, 0x3FFF)
+
+
+def code_injection(security: str) -> AttackResult:
+    harness = AttackHarness(security)
+    process_entry = harness.symbol("process")
+
+    # Inject the payload into DMEM (models a buffer overflow landing
+    # attacker bytes in RAM).
+    payload_addr = harness.device.layout.dmem.start + 0x80
+    for index, word in enumerate(_SHELLCODE_WORDS):
+        harness.device.bus.poke_word(payload_addr + 2 * index, word)
+
+    harness.run_to({process_entry})
+    sp = harness.device.cpu.sp
+    harness.device.bus.poke_word(sp, payload_addr)
+
+    return harness.finish(
+        "code-injection",
+        corruption_detail=f"return -> DMEM shellcode @0x{payload_addr:04x}",
+    )
+
+
+def _run_raw_asm(source, security, link_eilid_runtime=True):
+    """Build a hand-written firmware (attacker-controlled binary)."""
+    from repro.toolchain.build import SourceModule
+
+    builder = IterativeBuild()
+    modules = [
+        SourceModule("crt0.s", builder.trusted.crt0_source(eilid_enabled=False)),
+        SourceModule("attack.s", source, is_app=True),
+    ]
+    if link_eilid_runtime:
+        modules.append(SourceModule("eilid_rom.s", builder.trusted.rom_source()))
+    build = builder.pipeline.build(modules, name="raw-attack")
+    device = build_device(build.program, security=security)
+    return device
+
+
+def _classify_raw(name, security, device, succeeded_detail):
+    result = device.run(max_cycles=100_000)
+    if result.violations:
+        return AttackResult(name, security, AttackOutcome.RESET, result.violations)
+    if result.done:
+        return AttackResult(name, security, AttackOutcome.HIJACKED, detail=succeeded_detail)
+    return AttackResult(name, security, AttackOutcome.NO_EFFECT)
+
+
+def pmem_overwrite(security: str) -> AttackResult:
+    device = _run_raw_asm(PMEM_WRITER_ASM, security, link_eilid_runtime=False)
+    before = device.peek_word(0xE002)
+    result = _classify_raw("pmem-overwrite", security, device, "code region modified")
+    if result.outcome is AttackOutcome.HIJACKED and device.peek_word(0xE002) == before:
+        result.outcome = AttackOutcome.NO_EFFECT
+    return result
+
+
+def shadow_stack_tamper(security: str) -> AttackResult:
+    device = _run_raw_asm(SECURE_RAM_READER_ASM, security, link_eilid_runtime=False)
+    return _classify_raw(
+        "shadow-stack-tamper", security, device, "shadow stack read+written"
+    )
+
+
+def rom_mid_entry_jump(security: str) -> AttackResult:
+    device = _run_raw_asm(ROM_JUMP_ASM, security, link_eilid_runtime=True)
+    return _classify_raw("rom-mid-entry-jump", security, device, "rom internals reached")

@@ -1,0 +1,51 @@
+"""Return-from-interrupt attack: tamper the saved context (P2).
+
+The attacker exploits a (hypothetical) ISR-reachable memory bug to
+rewrite the interrupted PC stored on the main stack while the ISR runs
+(paper Sec. III-B: "a memory vulnerability in an ISR allows
+modifications of the main stack where the context is kept").
+
+The corruption is applied *after* the instrumented prologue has stored
+the genuine context on the shadow stack -- the honest TOCTOU window --
+so on EILID the epilogue check fires and resets; on baseline/CASU the
+``reti`` dispatches to the attacker's target.
+"""
+
+from repro.attacks.harness import AttackHarness, AttackResult
+from repro.errors import ReproError
+from repro.toolchain.listing import parse_listing
+
+
+def _isr_body_address(harness):
+    """First instruction after the instrumented prologue of the ISR."""
+    listing = parse_listing(harness.build.listing)
+    isr_addr = listing.label_address("__isr_tick")
+    if harness.security != "eilid":
+        return isr_addr, 2  # saved PC at SP+2 (SR at SP+0)
+    # Skip to just past the `call #NS_EILID_store_rfi`.
+    for entry in listing.instructions("call"):
+        if entry.addr >= isr_addr and entry.note == "NS_EILID_store_rfi":
+            # Saved PC sits above the three reserved-register saves.
+            return listing.next_address(entry.addr), 8
+    raise ReproError("instrumented ISR prologue not found in listing")
+
+
+def interrupt_context_tamper(security: str) -> AttackResult:
+    harness = AttackHarness(security)
+    unlock = harness.symbol("unlock")
+    body, pc_offset = _isr_body_address(harness)
+
+    run = harness.run_to({body})
+    if harness.device.cpu.pc != body:
+        return harness.finish("interrupt-context-tamper", "ISR never entered")
+    sp = harness.device.cpu.sp
+    slot = sp + pc_offset
+    original = harness.device.peek_word(slot)
+    harness.device.bus.poke_word(slot, unlock)
+
+    return harness.finish(
+        "interrupt-context-tamper",
+        corruption_detail=(
+            f"saved PC [0x{slot:04x}] 0x{original:04x} -> unlock@0x{unlock:04x}"
+        ),
+    )

@@ -1,0 +1,32 @@
+"""Backward-edge attack: smash a function's return address (P1).
+
+The attacker waits until ``process()`` is entered (its return address
+is the word at the stack pointer) and overwrites that word with the
+address of the privileged ``unlock()`` -- the entry step of a
+return-oriented chain.
+
+Expected outcomes: baseline and CASU devices execute ``unlock`` (CASU
+guards code *immutability*, not control flow -- the paper's motivating
+gap); the EILID device resets at the instrumented ``ret`` check before
+the corrupted address is ever fetched.
+"""
+
+from repro.attacks.harness import AttackHarness, AttackResult
+
+
+def return_address_smash(security: str) -> AttackResult:
+    harness = AttackHarness(security)
+    process_entry = harness.symbol("process")
+    unlock = harness.symbol("unlock")
+
+    harness.run_to({process_entry})
+    sp = harness.device.cpu.sp
+    original = harness.device.peek_word(sp)
+    harness.device.bus.poke_word(sp, unlock)  # the memory-vulnerability write
+
+    return harness.finish(
+        "return-address-smash",
+        corruption_detail=(
+            f"[sp=0x{sp:04x}] 0x{original:04x} -> unlock@0x{unlock:04x}"
+        ),
+    )

@@ -1,0 +1,264 @@
+"""Hardware monitor: per-cycle checks over CPU bus signals.
+
+The monitor is composed of independent sub-monitors, mirroring the
+formally verified sub-property FSMs of the VRASED/CASU lineage:
+
+* :class:`WxorXMonitor` -- no instruction fetch outside executable
+  regions (PMEM + secure ROM); blocks code injection.
+* :class:`PmemGuardMonitor` -- no PMEM/IVT write unless an authenticated
+  update session is open and the write is issued from secure ROM.
+* :class:`SecureRamGuardMonitor` -- the shadow-stack bank is accessible
+  only while the PC is inside secure ROM (the EILID hardware extension).
+* :class:`RomAtomicityMonitor` -- secure ROM is entered only at declared
+  entry points, left only from the declared exit ranges, and never
+  interrupted.
+* :class:`ViolationPortMonitor` -- converts trusted-software CFI check
+  failures (a write to the violation port from ROM) into resets, and
+  treats any *untrusted* write to that port as an attack.
+* :class:`IllegalInstructionMonitor` -- undefined opcodes reset.
+
+Each sub-monitor sees every :class:`repro.cpu.StepRecord` and returns a
+:class:`Violation` or ``None``.  The composition stops at the first
+violation (hardware ORs the violation wires into one reset line).
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cpu.core import StepKind
+from repro.memory.bus import AccessKind
+from repro.peripherals.ports import VIOLATION_PORT
+
+
+class ViolationReason(enum.Enum):
+    W_XOR_X = "exec-from-nonexecutable"
+    PMEM_WRITE = "pmem-write-outside-update"
+    SECURE_RAM_ACCESS = "secure-ram-access-from-untrusted-code"
+    ROM_ENTRY = "rom-entered-off-entry-point"
+    ROM_EXIT = "rom-left-outside-exit-section"
+    IRQ_IN_ROM = "interrupt-inside-rom"
+    ILLEGAL_INSN = "illegal-instruction"
+    SECURE_PORT = "violation-port-write-from-untrusted-code"
+    # Reason codes written by EILIDsw to the violation port:
+    CFI_RETURN = "cfi-return-address-mismatch"
+    CFI_RFI = "cfi-interrupt-context-mismatch"
+    CFI_INDIRECT = "cfi-illegal-indirect-target"
+    SHADOW_OVERFLOW = "shadow-stack-overflow"
+    SHADOW_UNDERFLOW = "shadow-stack-underflow"
+    TABLE_OVERFLOW = "function-table-overflow"
+    BAD_SELECTOR = "bad-rom-selector"
+
+
+# EILIDsw reason-code wire values -> reasons (must match trusted_sw.py).
+SW_REASON_CODES = {
+    1: ViolationReason.CFI_RETURN,
+    2: ViolationReason.CFI_RFI,
+    3: ViolationReason.CFI_INDIRECT,
+    4: ViolationReason.SHADOW_OVERFLOW,
+    5: ViolationReason.SHADOW_UNDERFLOW,
+    6: ViolationReason.TABLE_OVERFLOW,
+    7: ViolationReason.BAD_SELECTOR,
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    reason: ViolationReason
+    pc: int
+    addr: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self):
+        where = f" addr=0x{self.addr:04x}" if self.addr is not None else ""
+        return f"{self.reason.value} at pc=0x{self.pc:04x}{where} {self.detail}".rstrip()
+
+
+@dataclass(frozen=True)
+class RomConfig:
+    """Trusted-ROM shape the atomicity monitor enforces."""
+
+    entry_points: Tuple[int, ...] = ()
+    exit_ranges: Tuple[Tuple[int, int], ...] = ()  # inclusive address ranges
+
+    def is_entry(self, addr):
+        return addr in self.entry_points
+
+    def in_exit_range(self, addr):
+        return any(start <= addr <= end for start, end in self.exit_ranges)
+
+
+@dataclass
+class MonitorPolicy:
+    """Which sub-monitors are armed.
+
+    ``casu()`` is the base active-RoT configuration; ``eilid()`` adds
+    the secure shadow-stack bank guard and the CFI violation port.
+    """
+
+    w_xor_x: bool = True
+    pmem_guard: bool = True
+    rom_atomicity: bool = True
+    secure_ram_guard: bool = False
+    violation_port: bool = False
+    illegal_insn: bool = True
+
+    @staticmethod
+    def casu():
+        return MonitorPolicy()
+
+    @staticmethod
+    def eilid():
+        return MonitorPolicy(secure_ram_guard=True, violation_port=True)
+
+
+class _SubMonitor:
+    name = "sub-monitor"
+
+    def reset(self):
+        """Return to the power-on state (called after a device reset)."""
+
+    def check(self, step, layout):
+        raise NotImplementedError
+
+
+class WxorXMonitor(_SubMonitor):
+    name = "w-xor-x"
+
+    def check(self, step, layout):
+        for access in step.accesses:
+            if access.kind is AccessKind.FETCH and not layout.is_executable(access.addr):
+                return Violation(ViolationReason.W_XOR_X, step.pc, access.addr)
+        return None
+
+
+class PmemGuardMonitor(_SubMonitor):
+    name = "pmem-guard"
+
+    def __init__(self):
+        self.update_session_open = False
+
+    def reset(self):
+        self.update_session_open = False
+
+    def check(self, step, layout):
+        for access in step.accesses:
+            if access.kind is not AccessKind.WRITE:
+                continue
+            if not layout.in_pmem(access.addr):
+                continue
+            allowed = self.update_session_open and layout.in_secure_rom(step.pc)
+            if not allowed:
+                return Violation(ViolationReason.PMEM_WRITE, step.pc, access.addr)
+        return None
+
+
+class SecureRamGuardMonitor(_SubMonitor):
+    name = "secure-ram-guard"
+
+    def check(self, step, layout):
+        for access in step.accesses:
+            if access.kind is AccessKind.FETCH:
+                continue  # fetches are W-xor-X's problem
+            if layout.in_secure_dmem(access.addr) and not layout.in_secure_rom(step.pc):
+                return Violation(ViolationReason.SECURE_RAM_ACCESS, step.pc, access.addr)
+        return None
+
+
+class RomAtomicityMonitor(_SubMonitor):
+    name = "rom-atomicity"
+
+    def __init__(self, rom_config: RomConfig):
+        self.rom_config = rom_config
+
+    def check(self, step, layout):
+        was_in = layout.in_secure_rom(step.pc)
+        now_in = layout.in_secure_rom(step.next_pc)
+        if step.kind is StepKind.INTERRUPT and was_in:
+            return Violation(ViolationReason.IRQ_IN_ROM, step.pc)
+        if not was_in and now_in and not self.rom_config.is_entry(step.next_pc):
+            return Violation(ViolationReason.ROM_ENTRY, step.pc, step.next_pc)
+        if was_in and not now_in and not self.rom_config.in_exit_range(step.pc):
+            return Violation(ViolationReason.ROM_EXIT, step.pc, step.next_pc)
+        return None
+
+
+class ViolationPortMonitor(_SubMonitor):
+    name = "violation-port"
+
+    def check(self, step, layout):
+        for access in step.accesses:
+            if access.kind is not AccessKind.WRITE or access.addr != VIOLATION_PORT:
+                continue
+            if layout.in_secure_rom(step.pc):
+                reason = SW_REASON_CODES.get(
+                    access.value, ViolationReason.BAD_SELECTOR
+                )
+                return Violation(reason, step.pc, detail="(EILIDsw check failed)")
+            return Violation(ViolationReason.SECURE_PORT, step.pc, access.addr)
+        return None
+
+
+class IllegalInstructionMonitor(_SubMonitor):
+    name = "illegal-insn"
+
+    def check(self, step, layout):
+        if step.kind is StepKind.ILLEGAL:
+            return Violation(
+                ViolationReason.ILLEGAL_INSN,
+                step.pc,
+                detail=f"word=0x{step.illegal_word:04x}",
+            )
+        return None
+
+
+class HardwareMonitor:
+    """Composition of the armed sub-monitors."""
+
+    def __init__(self, layout, policy: Optional[MonitorPolicy] = None,
+                 rom_config: Optional[RomConfig] = None):
+        self.layout = layout
+        self.policy = policy or MonitorPolicy.casu()
+        self.rom_config = rom_config or RomConfig()
+        self.subs: List[_SubMonitor] = []
+        self._pmem_guard = None
+        if self.policy.w_xor_x:
+            self.subs.append(WxorXMonitor())
+        if self.policy.pmem_guard:
+            self._pmem_guard = PmemGuardMonitor()
+            self.subs.append(self._pmem_guard)
+        if self.policy.secure_ram_guard:
+            self.subs.append(SecureRamGuardMonitor())
+        if self.policy.rom_atomicity:
+            self.subs.append(RomAtomicityMonitor(self.rom_config))
+        if self.policy.violation_port:
+            self.subs.append(ViolationPortMonitor())
+        if self.policy.illegal_insn:
+            self.subs.append(IllegalInstructionMonitor())
+
+    def observe(self, step) -> Optional[Violation]:
+        """Check one CPU step; first violation wins (hardware OR)."""
+        for sub in self.subs:
+            violation = sub.check(step, self.layout)
+            if violation is not None:
+                return violation
+        return None
+
+    def reset(self):
+        for sub in self.subs:
+            sub.reset()
+
+    # ---- update session control (driven by the update engine) -----------
+
+    def open_update_session(self):
+        if self._pmem_guard is None:
+            raise RuntimeError("monitor has no PMEM guard to unlock")
+        self._pmem_guard.update_session_open = True
+
+    def close_update_session(self):
+        if self._pmem_guard is not None:
+            self._pmem_guard.update_session_open = False
+
+    @property
+    def update_session_open(self):
+        return self._pmem_guard is not None and self._pmem_guard.update_session_open

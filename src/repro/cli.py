@@ -1,0 +1,120 @@
+"""Command-line interface: ``eilid <command>``.
+
+Commands:
+
+* ``tables [--table N] [--repeats N]`` -- regenerate paper tables
+  (Table IV measures; expect a couple of minutes at default repeats).
+* ``figure10`` -- hardware overhead comparison.
+* ``micro`` -- per-operation instrumentation costs (Sec. VI in-text).
+* ``run-app NAME [--variant original|eilid]`` -- build + execute one
+  Table IV application and print its run summary.
+* ``attack NAME [--security none|casu|eilid]`` -- run one attack.
+* ``verify`` -- model-check the monitor properties.
+"""
+
+import argparse
+import sys
+
+
+def _cmd_tables(args):
+    from repro.eval import (
+        measure_table4,
+        render_table1,
+        render_table2,
+        render_table3,
+        render_table4,
+    )
+
+    wanted = args.table
+    if wanted in (None, 1):
+        print(render_table1() + "\n")
+    if wanted in (None, 2):
+        print(render_table2() + "\n")
+    if wanted in (None, 3):
+        print(render_table3() + "\n")
+    if wanted in (None, 4):
+        rows = measure_table4(repeats=args.repeats)
+        print(render_table4(rows))
+
+
+def _cmd_figure10(_args):
+    from repro.eval import render_figure10
+
+    print(render_figure10())
+
+
+def _cmd_micro(_args):
+    from repro.eval import render_micro
+
+    print(render_micro())
+
+
+def _cmd_run_app(args):
+    from repro.apps import get_app, run_app
+
+    spec = get_app(args.name)
+    run = run_app(spec, variant=args.variant)
+    print(f"{spec.title} ({args.variant}): done={run.done} "
+          f"cycles={run.cycles} ({run.run_time_us:.1f} us @100MHz) "
+          f"violations={len(run.violations)}")
+    for port, value in run.output_events()[:20]:
+        print(f"  {port} = 0x{value:04x}")
+
+
+def _cmd_attack(args):
+    import repro.attacks as attacks
+
+    attack = getattr(attacks, args.name, None)
+    if attack is None:
+        names = [n for n in attacks.__all__ if not n.startswith("Attack")]
+        print(f"unknown attack {args.name!r}; choose from: {', '.join(names)}")
+        return 1
+    result = attack(args.security)
+    print(result)
+    return 0
+
+
+def _cmd_verify(_args):
+    from repro.verification.properties import check_all
+
+    failures = 0
+    for result in check_all():
+        print(result)
+        failures += 0 if result.holds else 1
+    return 1 if failures else 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="eilid", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tables = sub.add_parser("tables", help="regenerate paper tables")
+    p_tables.add_argument("--table", type=int, choices=(1, 2, 3, 4))
+    p_tables.add_argument("--repeats", type=int, default=3)
+    p_tables.set_defaults(func=_cmd_tables)
+
+    p_fig = sub.add_parser("figure10", help="hardware overhead comparison")
+    p_fig.set_defaults(func=_cmd_figure10)
+
+    p_micro = sub.add_parser("micro", help="per-op instrumentation cost")
+    p_micro.set_defaults(func=_cmd_micro)
+
+    p_run = sub.add_parser("run-app", help="run one Table IV application")
+    p_run.add_argument("name")
+    p_run.add_argument("--variant", choices=("original", "eilid"), default="eilid")
+    p_run.set_defaults(func=_cmd_run_app)
+
+    p_attack = sub.add_parser("attack", help="run one attack scenario")
+    p_attack.add_argument("name")
+    p_attack.add_argument("--security", choices=("none", "casu", "eilid"), default="eilid")
+    p_attack.set_defaults(func=_cmd_attack)
+
+    p_verify = sub.add_parser("verify", help="model-check the monitor properties")
+    p_verify.set_defaults(func=_cmd_verify)
+
+    args = parser.parse_args(argv)
+    return args.func(args) or 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""openMSP430-style CPU core: fetch/decode/execute with cycle accounting.
+
+The core executes decoded :class:`repro.isa.Instruction` objects against
+a :class:`repro.memory.Bus`, emitting one :class:`StepRecord` per step
+(instruction, interrupt entry, or idle).  Hardware monitors consume the
+step records; they never reach into the core's internals, mirroring the
+signal-tap integration of CASU.
+"""
+
+from repro.cpu.core import Cpu, StepKind, StepRecord
+from repro.cpu.interrupts import InterruptController
+
+__all__ = ["Cpu", "StepKind", "StepRecord", "InterruptController"]

@@ -1,0 +1,437 @@
+"""The MSP430 CPU core.
+
+One :meth:`Cpu.step` executes a single architectural event -- interrupt
+acceptance or one instruction -- updates the register file and bus, and
+returns a :class:`StepRecord` carrying everything the hardware monitors
+observe: the issuing PC, the resulting PC, the bus accesses, and whether
+the step was an interrupt entry.
+
+Instruction semantics and cycle counts follow SLAU049 (MSP430x1xx
+Family User's Guide).  Deviations, all harmless to the EILID argument,
+are documented inline.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import DecodingError
+from repro.isa import decode, instruction_cycles, INTERRUPT_CYCLES
+from repro.isa.opcodes import Format
+from repro.isa.operands import AddrMode
+from repro.isa.registers import (
+    FLAG_C,
+    FLAG_GIE,
+    FLAG_N,
+    FLAG_V,
+    FLAG_Z,
+    NUM_REGISTERS,
+    PC,
+    SP,
+    SR,
+)
+from repro.memory.bus import Bus
+from repro.memory.map import RESET_VECTOR
+
+
+class StepKind(enum.Enum):
+    INSTRUCTION = "instruction"
+    INTERRUPT = "interrupt"
+    ILLEGAL = "illegal"
+
+
+@dataclass
+class StepRecord:
+    """Everything one step exposes to the monitors and to traces."""
+
+    kind: StepKind
+    pc: int  # PC before the step (issuing PC)
+    next_pc: int  # PC after the step
+    cycles: int
+    accesses: list = field(default_factory=list)
+    insn: Optional[object] = None  # Instruction for INSTRUCTION steps
+    vector: Optional[int] = None  # vector index for INTERRUPT steps
+    illegal_word: Optional[int] = None
+
+    def __str__(self):
+        if self.kind is StepKind.INTERRUPT:
+            body = f"IRQ vector {self.vector}"
+        elif self.kind is StepKind.ILLEGAL:
+            body = f"ILLEGAL 0x{self.illegal_word:04x}"
+        else:
+            body = self.insn.render()
+        return f"0x{self.pc:04x}: {body} ({self.cycles} cyc)"
+
+
+class Cpu:
+    """Register file + execution engine."""
+
+    def __init__(self, bus: Bus, interrupt_controller=None):
+        self.bus = bus
+        self.regs = [0] * NUM_REGISTERS
+        self.ic = interrupt_controller
+        self.total_cycles = 0
+        self.instruction_count = 0
+        # Hardware gate: when this predicate returns True for the current
+        # PC, pending interrupts are *deferred* (EILID keeps IRQs out of
+        # the secure ROM to preserve atomicity).  Installed by the device.
+        self.irq_deferred_at = lambda pc: False
+
+    # ---- register helpers -------------------------------------------------
+
+    def get_reg(self, num):
+        return self.regs[num]
+
+    def set_reg(self, num, value):
+        value &= 0xFFFF
+        if num == PC:
+            value &= 0xFFFE  # instruction stream is word aligned
+        self.regs[num] = value
+
+    @property
+    def pc(self):
+        return self.regs[PC]
+
+    @pc.setter
+    def pc(self, value):
+        self.set_reg(PC, value)
+
+    @property
+    def sp(self):
+        return self.regs[SP]
+
+    @property
+    def sr(self):
+        return self.regs[SR]
+
+    @property
+    def gie(self):
+        return bool(self.regs[SR] & FLAG_GIE)
+
+    def flag(self, bit):
+        return bool(self.regs[SR] & bit)
+
+    def _set_flags(self, c=None, z=None, n=None, v=None):
+        sr = self.regs[SR]
+        for bit, value in ((FLAG_C, c), (FLAG_Z, z), (FLAG_N, n), (FLAG_V, v)):
+            if value is None:
+                continue
+            sr = (sr | bit) if value else (sr & ~bit)
+        self.regs[SR] = sr & 0xFFFF
+
+    # ---- reset --------------------------------------------------------------
+
+    def reset(self):
+        """Power-up/violation reset: clear registers, load the reset vector.
+
+        The vector read models the hardware reset sequence and is not a
+        CPU bus transaction, so it is untraced (monitors start clean).
+        """
+        self.regs = [0] * NUM_REGISTERS
+        self.pc = self.bus.peek_word(RESET_VECTOR)
+
+    # ---- stepping ---------------------------------------------------------
+
+    def step(self) -> StepRecord:
+        """Execute one architectural event and return its record."""
+        pc_before = self.pc
+        self.bus.current_pc = pc_before
+        self.bus.drain_trace()
+
+        if self._should_take_interrupt(pc_before):
+            return self._service_interrupt(pc_before)
+
+        first_word = self.bus.fetch_word(pc_before)
+        fetch_cursor = {"addr": pc_before + 2}
+
+        def fetch_ext():
+            word = self.bus.fetch_word(fetch_cursor["addr"])
+            fetch_cursor["addr"] += 2
+            return word
+
+        try:
+            insn = decode(first_word, fetch_ext)
+        except DecodingError:
+            # An illegal opcode halts a real MSP430 into reset via the
+            # watchdog; we surface it as an ILLEGAL step and let the
+            # device reset.
+            record = StepRecord(
+                kind=StepKind.ILLEGAL,
+                pc=pc_before,
+                next_pc=pc_before,
+                cycles=1,
+                accesses=self.bus.drain_trace(),
+                illegal_word=first_word,
+            )
+            self.total_cycles += record.cycles
+            return record
+
+        self.pc = fetch_cursor["addr"]
+        self._execute(insn)
+        cycles = instruction_cycles(insn)
+        self.total_cycles += cycles
+        self.instruction_count += 1
+        return StepRecord(
+            kind=StepKind.INSTRUCTION,
+            pc=pc_before,
+            next_pc=self.pc,
+            cycles=cycles,
+            accesses=self.bus.drain_trace(),
+            insn=insn,
+        )
+
+    def _should_take_interrupt(self, pc):
+        if self.ic is None or not self.gie:
+            return False
+        if not self.ic.any_pending:
+            return False
+        return not self.irq_deferred_at(pc)
+
+    def _service_interrupt(self, pc_before):
+        vector = self.ic.accept()
+        self._push(pc_before)
+        self._push(self.regs[SR])
+        # SLAU049: SR is cleared on interrupt entry (SCG0 preserved on
+        # some parts; we clear fully -- the apps never use SCG0).
+        self.regs[SR] = 0
+        handler = self.bus.read_word(self.bus.layout.vector_address(vector))
+        self.pc = handler
+        self.total_cycles += INTERRUPT_CYCLES
+        return StepRecord(
+            kind=StepKind.INTERRUPT,
+            pc=pc_before,
+            next_pc=self.pc,
+            cycles=INTERRUPT_CYCLES,
+            accesses=self.bus.drain_trace(),
+            vector=vector,
+        )
+
+    # ---- operand access -----------------------------------------------------
+
+    def _read_operand(self, operand, byte_mode):
+        """Read an operand's value; applies auto-increment side effects."""
+        mode = operand.mode
+        if mode is AddrMode.REGISTER:
+            value = self.regs[operand.reg]
+            return (value & 0xFF) if byte_mode else value
+        if mode in (AddrMode.IMMEDIATE, AddrMode.CONSTANT):
+            value = operand.value
+            return (value & 0xFF) if byte_mode else value
+        if mode in (AddrMode.INDIRECT, AddrMode.AUTOINC):
+            addr = self.regs[operand.reg]
+            value = self._load(addr, byte_mode)
+            if mode is AddrMode.AUTOINC:
+                step = 2 if (not byte_mode or operand.reg in (PC, SP)) else 1
+                self.set_reg(operand.reg, self.regs[operand.reg] + step)
+            return value
+        addr = self._effective_address(operand)
+        return self._load(addr, byte_mode)
+
+    def _effective_address(self, operand):
+        """EA of a memory operand (INDEXED/SYMBOLIC/ABSOLUTE/INDIRECT)."""
+        mode = operand.mode
+        if mode is AddrMode.INDEXED:
+            return (self.regs[operand.reg] + operand.value) & 0xFFFF
+        if mode is AddrMode.SYMBOLIC:
+            # Our toolchain encodes symbolic operands so that
+            # EA = ext_word_value; see toolchain docs.  At execution time
+            # the operand already carries the resolved address.
+            return operand.value
+        if mode is AddrMode.ABSOLUTE:
+            return operand.value
+        if mode in (AddrMode.INDIRECT, AddrMode.AUTOINC):
+            return self.regs[operand.reg]
+        raise DecodingError(f"operand {operand} has no effective address")
+
+    def _load(self, addr, byte_mode):
+        if byte_mode:
+            return self.bus.read_byte(addr)
+        return self.bus.read_word(addr & 0xFFFE)
+
+    def _store(self, addr, value, byte_mode):
+        if byte_mode:
+            self.bus.write_byte(addr, value)
+        else:
+            self.bus.write_word(addr & 0xFFFE, value)
+
+    def _write_operand(self, operand, value, byte_mode):
+        if operand.mode is AddrMode.REGISTER:
+            if byte_mode:
+                value &= 0xFF  # byte writes clear the upper register byte
+            self.set_reg(operand.reg, value)
+            return
+        self._store(self._effective_address(operand), value, byte_mode)
+
+    def _push(self, value):
+        self.set_reg(SP, self.regs[SP] - 2)
+        self.bus.write_word(self.regs[SP], value & 0xFFFF)
+
+    def _pop(self):
+        value = self.bus.read_word(self.regs[SP])
+        self.set_reg(SP, self.regs[SP] + 2)
+        return value
+
+    # ---- execution -----------------------------------------------------------
+
+    def _execute(self, insn):
+        fmt = insn.opcode.format
+        if fmt is Format.DOUBLE:
+            self._execute_double(insn)
+        elif fmt is Format.SINGLE:
+            self._execute_single(insn)
+        else:
+            self._execute_jump(insn)
+
+    def _execute_double(self, insn):
+        byte = insn.byte_mode
+        mask = 0xFF if byte else 0xFFFF
+        msb = 0x80 if byte else 0x8000
+        src = self._read_operand(insn.src, byte)
+        name = insn.mnemonic
+
+        if name == "mov":
+            self._write_operand(insn.dst, src, byte)
+            return
+
+        # Every other format-I instruction reads the destination first.
+        if insn.dst.mode is AddrMode.REGISTER:
+            dst = self.regs[insn.dst.reg] & mask
+            dst_addr = None
+        else:
+            dst_addr = self._effective_address(insn.dst)
+            dst = self._load(dst_addr, byte)
+
+        result = None
+        if name in ("add", "addc"):
+            carry_in = 1 if (name == "addc" and self.flag(FLAG_C)) else 0
+            total = src + dst + carry_in
+            result = total & mask
+            self._set_flags(
+                c=total > mask,
+                z=result == 0,
+                n=bool(result & msb),
+                v=bool(~(src ^ dst) & (src ^ result) & msb),
+            )
+        elif name in ("sub", "subc", "cmp"):
+            inv = (~src) & mask
+            carry_in = (1 if self.flag(FLAG_C) else 0) if name == "subc" else 1
+            total = dst + inv + carry_in
+            result = total & mask
+            self._set_flags(
+                c=total > mask,
+                z=result == 0,
+                n=bool(result & msb),
+                v=bool(~(inv ^ dst) & (inv ^ result) & msb),
+            )
+        elif name == "dadd":
+            result = self._bcd_add(src, dst, byte)
+        elif name in ("and", "bit"):
+            result = src & dst
+            self._set_flags(c=result != 0, z=result == 0, n=bool(result & msb), v=False)
+        elif name == "xor":
+            result = src ^ dst
+            self._set_flags(
+                c=result != 0,
+                z=result == 0,
+                n=bool(result & msb),
+                v=bool(src & msb) and bool(dst & msb),
+            )
+        elif name == "bic":
+            result = dst & ~src & mask
+        elif name == "bis":
+            result = dst | src
+        else:  # pragma: no cover - table and dispatch are exhaustive
+            raise DecodingError(f"unhandled format-I mnemonic {name}")
+
+        if insn.opcode.writes_dest:
+            if dst_addr is None:
+                if byte:
+                    result &= 0xFF
+                self.set_reg(insn.dst.reg, result)
+            else:
+                self._store(dst_addr, result, byte)
+
+    def _bcd_add(self, src, dst, byte):
+        """Decimal (BCD) addition with carry, per DADD semantics."""
+        digits = 2 if byte else 4
+        carry = 1 if self.flag(FLAG_C) else 0
+        result = 0
+        for digit in range(digits):
+            a = (src >> (4 * digit)) & 0xF
+            b = (dst >> (4 * digit)) & 0xF
+            total = a + b + carry
+            carry = 1 if total > 9 else 0
+            if carry:
+                total -= 10
+            result |= total << (4 * digit)
+        msb = 0x80 if byte else 0x8000
+        self._set_flags(c=bool(carry), z=result == 0, n=bool(result & msb), v=False)
+        return result
+
+    def _execute_single(self, insn):
+        name = insn.mnemonic
+        if name == "reti":
+            self.regs[SR] = self._pop()
+            self.pc = self._pop()
+            return
+
+        byte = insn.byte_mode
+        mask = 0xFF if byte else 0xFFFF
+        msb = 0x80 if byte else 0x8000
+
+        if name == "push":
+            value = self._read_operand(insn.dst, byte)
+            # PUSH.B still moves SP by a full word (SLAU049 3.4.34).
+            self._push(value & mask)
+            return
+        if name == "call":
+            target = self._read_operand(insn.dst, byte_mode=False)
+            self._push(self.pc)
+            self.pc = target
+            return
+
+        # RRA/RRC/SWPB/SXT: read-modify-write.
+        if insn.dst.mode is AddrMode.REGISTER:
+            value = self.regs[insn.dst.reg] & mask
+            addr = None
+        else:
+            addr = self._effective_address(insn.dst)
+            value = self._load(addr, byte)
+
+        if name == "rra":
+            carry = value & 1
+            result = (value >> 1) | (value & msb)
+            self._set_flags(c=bool(carry), z=result == 0, n=bool(result & msb), v=False)
+        elif name == "rrc":
+            carry_in = msb if self.flag(FLAG_C) else 0
+            carry = value & 1
+            result = (value >> 1) | carry_in
+            self._set_flags(c=bool(carry), z=result == 0, n=bool(result & msb), v=False)
+        elif name == "swpb":
+            result = ((value << 8) | (value >> 8)) & 0xFFFF
+        elif name == "sxt":
+            result = value & 0xFF
+            if result & 0x80:
+                result |= 0xFF00
+            self._set_flags(c=result != 0, z=result == 0, n=bool(result & 0x8000), v=False)
+        else:  # pragma: no cover
+            raise DecodingError(f"unhandled format-II mnemonic {name}")
+
+        if addr is None:
+            self.set_reg(insn.dst.reg, result & mask)
+        else:
+            self._store(addr, result, byte)
+
+    def _execute_jump(self, insn):
+        take = {
+            "jnz": not self.flag(FLAG_Z),
+            "jz": self.flag(FLAG_Z),
+            "jnc": not self.flag(FLAG_C),
+            "jc": self.flag(FLAG_C),
+            "jn": self.flag(FLAG_N),
+            "jge": self.flag(FLAG_N) == self.flag(FLAG_V),
+            "jl": self.flag(FLAG_N) != self.flag(FLAG_V),
+            "jmp": True,
+        }[insn.mnemonic]
+        if take:
+            self.pc = self.pc + 2 * insn.offset

@@ -1,0 +1,283 @@
+"""The assembled device: CPU + memory + peripherals + hardware monitor.
+
+Three security levels, matching the attack matrix in DESIGN.md:
+
+* ``"none"``  -- bare MCU, no monitor (the victim baseline);
+* ``"casu"``  -- CASU active RoT (software immutability, no CFI);
+* ``"eilid"`` -- CASU plus the EILID extension (secure shadow-stack
+  bank, CFI violation port).
+
+A monitor violation rolls back the violating step's memory writes and
+register changes (hardware resets preempt commit), records the event,
+and resets the MCU -- the paper's "detects control-flow violation and
+triggers a reset".
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.casu.monitor import HardwareMonitor, MonitorPolicy, Violation
+from repro.casu.update import (
+    STAGING_HEADER_WORDS,
+    UpdateEngine,
+    UpdateKey,
+    UpdateResult,
+    UpdateStatus,
+)
+from repro.cpu import Cpu, InterruptController
+from repro.cpu.core import StepKind
+from repro.eilid.trusted_sw import TrustedSoftware
+from repro.errors import UpdateError
+from repro.memory.bus import Bus
+from repro.peripherals import (
+    Adc,
+    Gpio,
+    HarnessPorts,
+    Lcd,
+    Timer,
+    Uart,
+    Ultrasonic,
+)
+
+SECURITY_LEVELS = ("none", "casu", "eilid")
+
+
+@dataclass
+class DeviceEvent:
+    kind: str  # "violation" | "reset"
+    cycle: int
+    violation: Optional[Violation] = None
+
+    def __str__(self):
+        body = f": {self.violation}" if self.violation else ""
+        return f"[{self.cycle}] {self.kind}{body}"
+
+
+@dataclass
+class RunResult:
+    cycles: int
+    instructions: int
+    steps: int
+    done: bool
+    done_value: Optional[int]
+    violations: List[Violation]
+    reset_count: int
+
+    @property
+    def run_time_us(self):
+        """Run time at the paper's 100 MHz clock."""
+        return self.cycles / 100.0
+
+    @property
+    def hijacked(self):
+        """True when the run ended neither cleanly nor with a reset."""
+        return not self.done and not self.violations
+
+
+class Device:
+    def __init__(self, program, security="none", peripherals=None,
+                 update_key: Optional[UpdateKey] = None):
+        if security not in SECURITY_LEVELS:
+            raise ValueError(f"security must be one of {SECURITY_LEVELS}")
+        self.program = program
+        self.security = security
+        self.layout = program.layout
+        self.bus = Bus(self.layout)
+        self.ic = InterruptController()
+        self.cpu = Cpu(self.bus, self.ic)
+
+        if peripherals is None:
+            peripherals = {}
+        self.peripherals: Dict[str, object] = {
+            "gpio": peripherals.get("gpio", Gpio()),
+            "timer": peripherals.get("timer", Timer()),
+            "adc": peripherals.get("adc", Adc()),
+            "uart": peripherals.get("uart", Uart()),
+            "lcd": peripherals.get("lcd", Lcd()),
+            "ultrasonic": peripherals.get("ultrasonic", Ultrasonic()),
+            "harness": peripherals.get("harness", HarnessPorts()),
+        }
+        for peripheral in self.peripherals.values():
+            peripheral.attach(self.bus, self.ic)
+
+        self.monitor: Optional[HardwareMonitor] = None
+        if security != "none":
+            policy = MonitorPolicy.eilid() if security == "eilid" else MonitorPolicy.casu()
+            rom_config = TrustedSoftware.rom_config_from_symbols(program.symbols)
+            self.monitor = HardwareMonitor(self.layout, policy, rom_config)
+            if policy.rom_atomicity:
+                self.cpu.irq_deferred_at = self.layout.in_secure_rom
+
+        self.update_engine = UpdateEngine(update_key or UpdateKey.derive(program.name))
+        self.events: List[DeviceEvent] = []
+        self.cycle = 0
+        self.reset_count = 0
+
+        for addr, data in program.segments():
+            self.bus.load_bytes(addr, data)
+        self.cpu.reset()
+
+    # ---- accessors -----------------------------------------------------------
+
+    @property
+    def harness(self) -> HarnessPorts:
+        return self.peripherals["harness"]
+
+    def symbol(self, name):
+        return self.program.symbols[name]
+
+    def peek_word(self, addr):
+        return self.bus.peek_word(addr)
+
+    @property
+    def violations(self):
+        return [e.violation for e in self.events if e.kind == "violation"]
+
+    # ---- stepping ----------------------------------------------------------------
+
+    def step(self):
+        """One monitored step. Returns (record, violation_or_None)."""
+        regs_before = list(self.cpu.regs)
+        log_marks = None
+        if self.monitor is not None:
+            log_marks = {
+                name: p.snapshot_logs() for name, p in self.peripherals.items()
+            }
+        record = self.cpu.step()
+        self.cycle += record.cycles
+        for peripheral in self.peripherals.values():
+            peripheral.tick(record.cycles)
+
+        violation = None
+        if self.monitor is not None:
+            violation = self.monitor.observe(record)
+            if violation is None and record.kind is StepKind.ILLEGAL:
+                pass
+        elif record.kind is StepKind.ILLEGAL:
+            # Without a monitor an illegal opcode just spins the PC past
+            # the bad word, like a real core executing garbage.
+            self.cpu.pc = record.pc + 2
+
+        if violation is not None:
+            # Hardware semantics: the violating cycle never commits --
+            # memory writes, register changes and peripheral effects of
+            # this step are all voided before the reset.
+            self.bus.rollback_writes(record.accesses)
+            self.cpu.regs = regs_before
+            for name, peripheral in self.peripherals.items():
+                peripheral.rollback_logs(log_marks[name])
+            self.events.append(DeviceEvent("violation", self.cycle, violation))
+            self.hard_reset()
+        return record, violation
+
+    def hard_reset(self):
+        self.reset_count += 1
+        self.events.append(DeviceEvent("reset", self.cycle))
+        self.cpu.reset()
+        self.ic.clear_all()
+        if self.monitor is not None:
+            self.monitor.reset()
+        for peripheral in self.peripherals.values():
+            peripheral.reset()
+
+    def run(self, max_cycles=2_000_000, stop_on_done=True, stop_on_violation=True,
+            max_steps=None, break_at=None, observer=None):
+        """Run until DONE, a violation (if requested), a breakpoint in
+        *break_at* (a set of PC values), or the budget ends.
+
+        *observer*, if given, is called with every
+        ``(StepRecord, violation_or_None)`` -- the hook the trace
+        oracles in :mod:`repro.verification` attach to.
+        """
+        start_cycle = self.cycle
+        start_insns = self.cpu.instruction_count
+        steps = 0
+        violations: List[Violation] = []
+        while self.cycle - start_cycle < max_cycles:
+            if max_steps is not None and steps >= max_steps:
+                break
+            _record, violation = self.step()
+            if observer is not None:
+                observer(_record, violation)
+            steps += 1
+            if violation is not None:
+                violations.append(violation)
+                if stop_on_violation:
+                    break
+            if stop_on_done and self.harness.done:
+                break
+            if break_at is not None and self.cpu.pc in break_at:
+                break
+        return RunResult(
+            cycles=self.cycle - start_cycle,
+            instructions=self.cpu.instruction_count - start_insns,
+            steps=steps,
+            done=self.harness.done,
+            done_value=self.harness.done_value,
+            violations=violations,
+            reset_count=self.reset_count,
+        )
+
+    # ---- ROM routine invocation (used by the update flow and tests) ---------------
+
+    def call_routine(self, symbol, regs=None, max_steps=20_000):
+        """Run a ROM routine to completion on the simulated CPU.
+
+        Pushes ``__halt`` as the return address, jumps to *symbol*, and
+        steps until the routine returns (or a violation resets).
+        Returns the violation list collected on the way.
+        """
+        sentinel = self.symbol("__halt")
+        self.cpu.set_reg(1, self.layout.stack_top)
+        for reg, value in (regs or {}).items():
+            self.cpu.set_reg(reg, value)
+        self.cpu._push(sentinel)
+        self.cpu.pc = self.symbol(symbol)
+        violations = []
+        for _ in range(max_steps):
+            _record, violation = self.step()
+            if violation is not None:
+                violations.append(violation)
+                break
+            if self.cpu.pc == sentinel:
+                break
+        return violations
+
+    # ---- CASU secure update ------------------------------------------------------------
+
+    def apply_update(self, package) -> UpdateResult:
+        """Authenticated update: verify, stage, ROM-copy into PMEM.
+
+        The MAC/version check models the ROM crypto (see DESIGN.md);
+        the copy runs on the CPU from the ROM routine with the
+        monitor's update session open, so the PMEM guard is exercised
+        for real.
+        """
+        result = self.update_engine.verify(package)
+        if not result.ok:
+            return result
+
+        staging = self.layout.dmem.start + 2 * STAGING_HEADER_WORDS
+        if staging + len(package.payload) > self.layout.dmem.end + 1:
+            raise UpdateError("payload does not fit in the staging area")
+        self.bus.load_bytes(staging, package.payload)  # models network receive
+
+        if self.monitor is not None:
+            self.monitor.open_update_session()
+        try:
+            violations = self.call_routine(
+                "S_CASU_update_copy",
+                regs={15: staging, 14: package.target, 13: len(package.payload) // 2},
+            )
+        finally:
+            if self.monitor is not None:
+                self.monitor.close_update_session()
+        if violations:
+            return UpdateResult(UpdateStatus.COPY_FAILED, str(violations[0]))
+        self.update_engine.accept(package)
+        return result
+
+
+def build_device(program, security="none", peripherals=None, update_key=None) -> Device:
+    """Factory mirroring the three rows of the DESIGN.md attack matrix."""
+    return Device(program, security=security, peripherals=peripherals, update_key=update_key)

@@ -1,0 +1,35 @@
+"""EILID: the paper's primary contribution.
+
+Three components (paper Fig. 1):
+
+* :mod:`repro.eilid.instrumenter` -- EILIDinst, the compile-time
+  assembly instrumenter (Figs. 3-8).
+* :mod:`repro.eilid.trusted_sw` -- EILIDsw, the trusted runtime in
+  secure ROM (entry/body/leave, shadow stack, indirect-call table,
+  Fig. 9), plus the non-secure shims and crt0.
+* the hardware side is CASU (:mod:`repro.casu`) plus the secure
+  shadow-stack bank guard, armed via
+  :meth:`repro.casu.MonitorPolicy.eilid`.
+
+:mod:`repro.eilid.iterbuild` drives the three-iteration instrumented
+compilation of Fig. 2; :func:`repro.device.build_device` assembles a
+full EILID-enabled device.
+"""
+
+from repro.eilid.policy import EilidPolicy, SecureMemoryPlan, RESERVED_REGISTERS
+from repro.eilid.trusted_sw import TrustedSoftware
+from repro.eilid.instrumenter import Instrumenter, InstrumentationReport
+from repro.eilid.iterbuild import IterativeBuild, IterativeBuildResult
+from repro.eilid.shadow_stack import ShadowStackModel
+
+__all__ = [
+    "EilidPolicy",
+    "SecureMemoryPlan",
+    "RESERVED_REGISTERS",
+    "TrustedSoftware",
+    "Instrumenter",
+    "InstrumentationReport",
+    "IterativeBuild",
+    "IterativeBuildResult",
+    "ShadowStackModel",
+]

@@ -1,0 +1,157 @@
+"""The iterated instrumented compilation of Fig. 2.
+
+Three builds are required because the instrumenter embeds *numeric*
+return addresses taken from the previous build's listing, and inserting
+instructions shifts every downstream address:
+
+1. build the original application (with the EILID runtime linked in) to
+   obtain a first listing;
+2. instrument using that listing (addresses are stale -- placeholders)
+   and rebuild: the new listing now has the *final* layout, because the
+   instruction count of the instrumentation is independent of the
+   addresses it embeds;
+3. re-instrument the original source against the second listing
+   (addresses now correct) and rebuild.
+
+A fourth instrumentation pass must reproduce iteration 3's output
+byte-for-byte; :meth:`IterativeBuild.build_eilid` can verify that fixed
+point (`verify_convergence=True`), and a test asserts it for every
+application.
+"""
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConvergenceError
+from repro.eilid.instrumenter import InstrumentationReport, Instrumenter
+from repro.eilid.policy import EilidPolicy
+from repro.eilid.trusted_sw import TrustedSoftware
+from repro.memory.map import MemoryLayout
+from repro.toolchain.build import BuildPipeline, BuildResult, SourceModule
+
+
+@dataclass
+class IterationRecord:
+    index: int
+    build: BuildResult
+    instrumented_source: Optional[str] = None
+    report: Optional[InstrumentationReport] = None
+
+
+@dataclass
+class IterativeBuildResult:
+    app_name: str
+    iterations: List[IterationRecord]
+    total_ms: float
+    converged: bool
+
+    @property
+    def final(self) -> BuildResult:
+        return self.iterations[-1].build
+
+    @property
+    def report(self) -> InstrumentationReport:
+        for record in reversed(self.iterations):
+            if record.report is not None:
+                return record.report
+        raise ConvergenceError("no instrumentation pass recorded")
+
+    @property
+    def final_source(self) -> str:
+        for record in reversed(self.iterations):
+            if record.instrumented_source is not None:
+                return record.instrumented_source
+        raise ConvergenceError("no instrumented source recorded")
+
+    @property
+    def build_count(self):
+        return len(self.iterations)
+
+
+class IterativeBuild:
+    """Builds applications both ways: original and EILID-instrumented."""
+
+    def __init__(self, layout: Optional[MemoryLayout] = None,
+                 policy: Optional[EilidPolicy] = None):
+        self.layout = layout or MemoryLayout.default()
+        self.policy = policy or EilidPolicy()
+        self.pipeline = BuildPipeline(self.layout)
+        self.trusted = TrustedSoftware(self.layout, self.policy)
+        # Fixed runtime modules (content-cached by the pipeline).
+        self._crt0_plain = SourceModule("crt0.s", self.trusted.crt0_source(eilid_enabled=False))
+        self._crt0_eilid = SourceModule("crt0.s", self.trusted.crt0_source(eilid_enabled=True))
+        self._shims = SourceModule("eilid_shims.s", self.trusted.shims_source())
+        self._rom = SourceModule("eilid_rom.s", self.trusted.rom_source())
+
+    # ---- original (uninstrumented) build -----------------------------------
+
+    def build_original(self, app_text, app_name="app.s"):
+        modules = [self._crt0_plain, SourceModule(app_name, app_text, is_app=True)]
+        return self.pipeline.build(modules, name=f"{app_name}:original")
+
+    # ---- EILID build (Fig. 2) -------------------------------------------------
+
+    def _eilid_modules(self, app_text, app_name):
+        return [
+            self._crt0_eilid,
+            SourceModule(app_name, app_text, is_app=True),
+            self._shims,
+            self._rom,
+        ]
+
+    def build_eilid(self, app_text, app_name="app.s", verify_convergence=False):
+        instrumenter = Instrumenter(self.policy, app_unit_name=app_name)
+        t_start = time.perf_counter()
+        iterations: List[IterationRecord] = []
+
+        build1 = self.pipeline.build(
+            self._eilid_modules(app_text, app_name), name=f"{app_name}:eilid-1"
+        )
+        iterations.append(IterationRecord(1, build1))
+
+        instr1, report1 = instrumenter.instrument(app_text, build1.listing)
+        build2 = self.pipeline.build(
+            self._eilid_modules(instr1, app_name), name=f"{app_name}:eilid-2"
+        )
+        iterations.append(IterationRecord(2, build2, instr1, report1))
+
+        instr2, report2 = instrumenter.instrument(app_text, build2.listing)
+        build3 = self.pipeline.build(
+            self._eilid_modules(instr2, app_name), name=f"{app_name}:eilid-3"
+        )
+        iterations.append(IterationRecord(3, build3, instr2, report2))
+
+        converged = True
+        if verify_convergence:
+            instr3, _ = instrumenter.instrument(app_text, build3.listing)
+            converged = instr3 == instr2
+            if not converged:
+                raise ConvergenceError(
+                    f"{app_name}: instrumented source did not reach a fixed point "
+                    "after three builds"
+                )
+
+        total_ms = (time.perf_counter() - t_start) * 1000
+        return IterativeBuildResult(app_name, iterations, total_ms, converged)
+
+    def build_eilid_symbolic(self, app_text, app_name="app.s"):
+        """Ablation: label-resolved return addresses, single build.
+
+        Requires a policy with ``use_symbolic_return_labels=True``; the
+        assembler resolves the post-call labels, so no listing feedback
+        (and no Fig. 2 iteration) is needed.
+        """
+        if not self.policy.use_symbolic_return_labels:
+            raise ConvergenceError(
+                "symbolic build requires policy.use_symbolic_return_labels"
+            )
+        instrumenter = Instrumenter(self.policy, app_unit_name=app_name)
+        t_start = time.perf_counter()
+        instr, report = instrumenter.instrument(app_text)
+        build = self.pipeline.build(
+            self._eilid_modules(instr, app_name), name=f"{app_name}:eilid-symbolic"
+        )
+        record = IterationRecord(1, build, instr, report)
+        total_ms = (time.perf_counter() - t_start) * 1000
+        return IterativeBuildResult(app_name, [record], total_ms, converged=True)

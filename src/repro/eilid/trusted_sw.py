@@ -1,0 +1,260 @@
+"""EILIDsw: the trusted runtime in secure ROM, plus its non-secure glue.
+
+The ROM follows the paper's three-section structure (Fig. 9a):
+
+* ``entry``  -- the only legal entry point; dispatches on the selector
+  in r4 to the body function.
+* ``body``   -- S_EILID_* functions operating on the shadow stack (r5 is
+  the index register, Fig. 9b) and the indirect-call table.
+* ``leave``  -- the only legal exit; clears the selector and returns to
+  the instrumented code.
+
+A failed check writes a reason code to the violation port, which the
+EILID hardware turns into a device reset.
+
+Also generated here: the non-secure ``NS_EILID_*`` shims the
+instrumented code calls (each sets the selector and branches to the ROM
+entry), the CASU update-copy routine, and the two crt0 variants
+(original and EILID-enabled).
+"""
+
+from dataclasses import dataclass
+
+from repro.casu.monitor import RomConfig
+from repro.eilid.policy import EilidPolicy, SecureMemoryPlan
+from repro.memory.map import MemoryLayout
+from repro.peripherals.ports import DONE_PORT, VIOLATION_PORT
+
+# Selector values (r4) for the entry-section dispatch.
+SELECTORS = {
+    "init": 0,
+    "store_ra": 1,
+    "check_ra": 2,
+    "store_rfi": 3,
+    "check_rfi": 4,
+    "store_ind": 5,
+    "check_ind": 6,
+}
+
+# Reason codes written to the violation port (must match
+# repro.casu.monitor.SW_REASON_CODES).
+REASON_RA = 1
+REASON_RFI = 2
+REASON_IND = 3
+REASON_OVERFLOW = 4
+REASON_UNDERFLOW = 5
+REASON_TABLE = 6
+REASON_SELECTOR = 7
+
+SHIM_NAMES = tuple(f"NS_EILID_{name}" for name in SELECTORS)
+
+
+@dataclass
+class TrustedSoftware:
+    """Generator for the fixed source modules of an EILID build."""
+
+    layout: MemoryLayout
+    policy: EilidPolicy
+
+    def __post_init__(self):
+        self.plan: SecureMemoryPlan = self.policy.plan(self.layout)
+
+    # ---- ROM ---------------------------------------------------------------
+
+    def rom_source(self):
+        plan = self.plan
+        lines = [
+            "; EILIDsw -- trusted runtime (secure ROM)",
+            "    .secure",
+            f"    .equ EILID_TBL_COUNT, 0x{plan.table_count_addr:04x}",
+            f"    .equ EILID_TBL_BASE, 0x{plan.table_base:04x}",
+            f"    .equ EILID_SS_BASE, 0x{plan.shadow_base:04x}",
+            f"    .equ EILID_VIOLATION, 0x{VIOLATION_PORT:04x}",
+            "",
+            "; ---- entry section: sole legal entry point ----",
+            "    .global S_EILID_entry",
+            "S_EILID_entry:",
+        ]
+        for name, selector in SELECTORS.items():
+            lines += [f"    cmp #{selector}, r4", f"    jz S_EILID_{name}"]
+        lines += [
+            f"    mov #{REASON_SELECTOR}, r6",
+            "    jmp S_EILID_trigger",
+            "",
+            "; ---- body section ----",
+            "S_EILID_init:",
+            "    mov #0, r5",
+            "    mov #0, &EILID_TBL_COUNT",
+            "    jmp S_EILID_leave",
+            "",
+            "S_EILID_store_ra:",
+            f"    cmp #{plan.shadow_capacity_words}, r5",
+            "    jge S_EILID_viol_overflow",
+            "    mov r5, r4",
+            "    rla r4",
+            "    mov r6, EILID_SS_BASE(r4)",
+            "    inc r5",
+            "    jmp S_EILID_leave",
+            "",
+            "S_EILID_check_ra:",
+            "    tst r5",
+            "    jz S_EILID_viol_underflow",
+            "    dec r5",
+            "    mov r5, r4",
+            "    rla r4",
+            "    cmp EILID_SS_BASE(r4), r6",
+            "    jnz S_EILID_viol_ra",
+            "    jmp S_EILID_leave",
+            "",
+            "S_EILID_store_rfi:",
+            f"    cmp #{plan.shadow_capacity_words - 1}, r5",
+            "    jge S_EILID_viol_overflow",
+            "    mov r5, r4",
+            "    rla r4",
+            "    mov r6, EILID_SS_BASE(r4)",
+            "    inc r5",
+            "    mov r5, r4",
+            "    rla r4",
+            "    mov r7, EILID_SS_BASE(r4)",
+            "    inc r5",
+            "    jmp S_EILID_leave",
+            "",
+            "S_EILID_check_rfi:",
+            "    cmp #2, r5",
+            "    jl S_EILID_viol_underflow",
+            "    dec r5",
+            "    mov r5, r4",
+            "    rla r4",
+            "    cmp EILID_SS_BASE(r4), r7",
+            "    jnz S_EILID_viol_rfi",
+            "    dec r5",
+            "    mov r5, r4",
+            "    rla r4",
+            "    cmp EILID_SS_BASE(r4), r6",
+            "    jnz S_EILID_viol_rfi",
+            "    jmp S_EILID_leave",
+            "",
+            "S_EILID_store_ind:",
+            "    mov &EILID_TBL_COUNT, r4",
+            f"    cmp #{plan.table_capacity}, r4",
+            "    jge S_EILID_viol_table",
+            "    rla r4",
+            "    mov r6, EILID_TBL_BASE(r4)",
+            "    inc &EILID_TBL_COUNT",
+            "    jmp S_EILID_leave",
+            "",
+            "S_EILID_check_ind:",
+            "    mov &EILID_TBL_COUNT, r4",
+            "S_EILID_find:",
+            "    dec r4",
+            "    jn S_EILID_viol_ind",
+            "    mov r4, r7",
+            "    rla r7",
+            "    cmp EILID_TBL_BASE(r7), r6",
+            "    jz S_EILID_leave",
+            "    jmp S_EILID_find",
+            "",
+            "; ---- violation reporting (never returns: hardware resets) ----",
+            "S_EILID_viol_ra:",
+            f"    mov #{REASON_RA}, r6",
+            "    jmp S_EILID_trigger",
+            "S_EILID_viol_rfi:",
+            f"    mov #{REASON_RFI}, r6",
+            "    jmp S_EILID_trigger",
+            "S_EILID_viol_ind:",
+            f"    mov #{REASON_IND}, r6",
+            "    jmp S_EILID_trigger",
+            "S_EILID_viol_overflow:",
+            f"    mov #{REASON_OVERFLOW}, r6",
+            "    jmp S_EILID_trigger",
+            "S_EILID_viol_underflow:",
+            f"    mov #{REASON_UNDERFLOW}, r6",
+            "    jmp S_EILID_trigger",
+            "S_EILID_viol_table:",
+            f"    mov #{REASON_TABLE}, r6",
+            "S_EILID_trigger:",
+            "    mov r6, &EILID_VIOLATION",
+            "S_EILID_spin:",
+            "    jmp S_EILID_spin",
+            "",
+            "; ---- leave section: sole legal exit ----",
+            "S_EILID_leave:",
+            "    clr r4",
+            "S_EILID_leave_ret:",
+            "    ret",
+            "",
+            "; ---- CASU secure-update copy routine ----",
+            "; r15 = staging source (DMEM), r14 = PMEM destination,",
+            "; r13 = word count.  Runs only with the update session open.",
+            "    .global S_CASU_update_copy",
+            "S_CASU_update_copy:",
+            "    tst r13",
+            "    jz S_CASU_copy_done",
+            "    mov @r15+, 0(r14)",
+            "    incd r14",
+            "    dec r13",
+            "    jmp S_CASU_update_copy",
+            "S_CASU_copy_done:",
+            "S_CASU_copy_ret:",
+            "    ret",
+            "",
+        ]
+        return "\n".join(lines)
+
+    # ---- non-secure shims ------------------------------------------------------
+
+    def shims_source(self):
+        lines = ["; NS_EILID_* shims: selector setup + branch into secure ROM", "    .text"]
+        for name, selector in SELECTORS.items():
+            lines += [
+                f"    .global NS_EILID_{name}",
+                f"NS_EILID_{name}:",
+                f"    mov #{selector}, r4",
+                "    br #S_EILID_entry",
+            ]
+        return "\n".join(lines) + "\n"
+
+    # ---- crt0 ----------------------------------------------------------------------
+
+    def crt0_source(self, eilid_enabled=True):
+        stack_top = self.layout.stack_top
+        lines = [
+            f"; crt0 ({'EILID' if eilid_enabled else 'original'} build)",
+            "    .text",
+            "    .global __start",
+            "__start:",
+            f"    mov #0x{stack_top:04x}, r1",
+        ]
+        if eilid_enabled:
+            lines += [
+                "    call #NS_EILID_init",
+                "    mov #__main_ret, r6",
+                "    call #NS_EILID_store_ra",
+            ]
+        lines += [
+            "    call #main",
+            "__main_ret:",
+            f"    mov #1, &0x{DONE_PORT:04x}",
+            "__halt:",
+            "    jmp __halt",
+            "__default_handler:",
+            "    reti",
+            "    .vector 15, __start",
+        ]
+        return "\n".join(lines) + "\n"
+
+    # ---- hardware configuration -----------------------------------------------------
+
+    @staticmethod
+    def rom_config_from_symbols(symbols) -> RomConfig:
+        """Entry/exit configuration for the atomicity monitor."""
+        entries = []
+        for sym in ("S_EILID_entry", "S_CASU_update_copy"):
+            if sym in symbols:
+                entries.append(symbols[sym])
+        exits = []
+        if "S_EILID_leave" in symbols and "S_EILID_leave_ret" in symbols:
+            exits.append((symbols["S_EILID_leave"], symbols["S_EILID_leave_ret"]))
+        if "S_CASU_copy_done" in symbols and "S_CASU_copy_ret" in symbols:
+            exits.append((symbols["S_CASU_copy_done"], symbols["S_CASU_copy_ret"]))
+        return RomConfig(entry_points=tuple(entries), exit_ranges=tuple(exits))

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the EILID reproduction.
+
+Toolchain problems (bad assembly, unresolvable symbols, out-of-range
+jumps) raise exceptions; *security* events (CFI violations, W+X faults)
+never do -- they are modelled as hardware resets recorded on the device,
+because that is how the real EILID hardware reacts.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class IsaError(ReproError):
+    """Raised for malformed instruction encodings or operand combinations."""
+
+
+class EncodingError(IsaError):
+    """Raised when an instruction cannot be encoded (bad operand/mode)."""
+
+
+class DecodingError(IsaError):
+    """Raised when a word sequence is not a valid instruction."""
+
+
+class AsmError(ReproError):
+    """Base class for assembler front-end errors."""
+
+    def __init__(self, message, filename=None, line=None):
+        self.filename = filename
+        self.line = line
+        where = ""
+        if filename is not None:
+            where = f"{filename}:"
+        if line is not None:
+            where += f"{line}: "
+        elif filename is not None:
+            where += " "
+        super().__init__(where + message)
+
+
+class AsmSyntaxError(AsmError):
+    """Raised on unparseable assembly source."""
+
+
+class SymbolError(AsmError):
+    """Raised for duplicate or undefined symbols."""
+
+
+class RangeError(AsmError):
+    """Raised when a value does not fit its encoding field (e.g. jump offset)."""
+
+
+class LinkError(ReproError):
+    """Raised when the linker cannot lay out or resolve an image."""
+
+
+class InstrumentationError(ReproError):
+    """Raised when EILIDinst cannot safely instrument the input."""
+
+
+class ConvergenceError(InstrumentationError):
+    """Raised when the iterated build of Fig. 2 fails to reach a fixed point."""
+
+
+class MemoryAccessError(ReproError):
+    """Raised on accesses outside the modelled address space.
+
+    This models a bus error, which on the simulated device is fatal to
+    the *simulation* (it indicates a harness bug), unlike monitor
+    violations which reset the device.
+    """
+
+
+class UpdateError(ReproError):
+    """Raised when a CASU secure-update package is malformed (not merely
+    unauthenticated -- failed authentication is a rejected update, not an
+    exception)."""
+
+
+class VerificationError(ReproError):
+    """Raised by the model checker for malformed models or specs."""

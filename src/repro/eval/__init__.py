@@ -1,0 +1,38 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+* Table I   -- :mod:`repro.eval.table1` (technique comparison)
+* Table II  -- :mod:`repro.eval.table2` (platform instruction sets)
+* Table III -- :mod:`repro.eval.table3` (reserved registers)
+* Table IV  -- :mod:`repro.eval.table4` (software overhead, measured)
+* Fig. 10   -- :mod:`repro.eval.figure10` (hardware overhead comparison)
+* Sec. VI in-text micro numbers -- :mod:`repro.eval.microbench`
+
+Paper-reported values live in :mod:`repro.eval.paper_data`; every
+generator returns both the measured and paper values so EXPERIMENTS.md
+and the benchmarks can print them side by side.
+"""
+
+from repro.eval import paper_data
+from repro.eval.table1 import generate_table1, render_table1
+from repro.eval.table2 import generate_table2, render_table2
+from repro.eval.table3 import generate_table3, render_table3
+from repro.eval.table4 import Table4Row, measure_table4, render_table4
+from repro.eval.figure10 import generate_figure10, render_figure10
+from repro.eval.microbench import measure_micro, render_micro
+
+__all__ = [
+    "paper_data",
+    "generate_table1",
+    "render_table1",
+    "generate_table2",
+    "render_table2",
+    "generate_table3",
+    "render_table3",
+    "Table4Row",
+    "measure_table4",
+    "render_table4",
+    "generate_figure10",
+    "render_figure10",
+    "measure_micro",
+    "render_micro",
+]

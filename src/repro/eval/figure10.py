@@ -1,0 +1,94 @@
+"""Figure 10: hardware overhead comparison (LUTs and registers).
+
+EILID's own point is *computed* from the structural cost model of the
+monitor (`repro.casu.hwmodel`); the comparison series are the published
+numbers (see :mod:`repro.eval.paper_data` for provenance).
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.casu.hwmodel import HardwareCostModel
+from repro.eval.paper_data import (
+    FIG10_SERIES,
+    LITEHAX_RAM_KB,
+    LOFAT_RAM_KB,
+    MSP430_ADDRESS_SPACE_KB,
+    OPENMSP430_BASELINE_LUTS,
+    OPENMSP430_BASELINE_REGISTERS,
+)
+from repro.eval.report import render_bars, render_table
+
+
+@dataclass
+class Figure10Data:
+    names: List[str]
+    kinds: List[str]
+    platforms: List[str]
+    luts: List[int]
+    registers: List[int]
+    model: HardwareCostModel
+
+    @property
+    def eilid_lut_pct(self):
+        return self.model.lut_overhead_pct
+
+    @property
+    def eilid_register_pct(self):
+        return self.model.register_overhead_pct
+
+
+def generate_figure10() -> Figure10Data:
+    model = HardwareCostModel(
+        baseline_luts=OPENMSP430_BASELINE_LUTS,
+        baseline_registers=OPENMSP430_BASELINE_REGISTERS,
+    )
+    names, kinds, platforms, luts, regs = [], [], [], [], []
+    for point in FIG10_SERIES:
+        names.append(point.name)
+        kinds.append(point.kind)
+        platforms.append(point.platform)
+        if point.name == "EILID":
+            # computed from the monitor structure, not pasted
+            luts.append(model.extension_luts)
+            regs.append(model.extension_registers)
+        else:
+            luts.append(point.luts)
+            regs.append(point.registers)
+    return Figure10Data(names, kinds, platforms, luts, regs, model)
+
+
+def render_figure10(data: Figure10Data = None) -> str:
+    data = data or generate_figure10()
+    parts = [
+        render_bars(
+            data.names,
+            data.luts,
+            title="Figure 10(a): additional LUTs over each scheme's baseline core",
+        ),
+        "",
+        render_bars(
+            data.names,
+            data.registers,
+            title="Figure 10(b): additional registers over each scheme's baseline core",
+        ),
+        "",
+        render_table(
+            ["block", "LUTs", "registers"],
+            [[name, l, r] for name, (l, r) in data.model.breakdown().items()]
+            + [["total", data.model.extension_luts, data.model.extension_registers]],
+            title=(
+                f"EILID structural breakdown "
+                f"(+{data.model.extension_luts} LUTs = {data.eilid_lut_pct:.1f}%, "
+                f"+{data.model.extension_registers} regs = {data.eilid_register_pct:.1f}% "
+                f"over openMSP430)"
+            ),
+        ),
+        "",
+        (
+            f"note: LO-FAT needs {LOFAT_RAM_KB}KB and LiteHAX {LITEHAX_RAM_KB}KB of RAM, "
+            f"beyond the {MSP430_ADDRESS_SPACE_KB}KB address space of a 16-bit MSP430 "
+            "(paper Sec. VI)."
+        ),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,136 @@
+"""Sec. VI micro measurements: per-operation instrumentation cost.
+
+The paper reports ~25.2 us per protected call (store ~11.8 us +
+check ~13.4 us at their clock) and 26/29 instructions on the store and
+check paths.  This harness executes a single protected call on the
+simulator and attributes cycles and dynamic instructions to the store
+path (inserted `mov`+`call`, shim, ROM store, leave) and the check path
+(inserted `mov`+`call`, shim, ROM check, leave), by tracing PC between
+listing anchors.
+"""
+
+import statistics
+from dataclasses import dataclass
+
+from repro.device import build_device
+from repro.eilid.iterbuild import IterativeBuild
+from repro.eval.paper_data import (
+    PAPER_CHECK_INSTRUCTIONS,
+    PAPER_CHECK_US,
+    PAPER_PER_CALL_US,
+    PAPER_STORE_INSTRUCTIONS,
+    PAPER_STORE_US,
+)
+from repro.eval.report import render_table
+from repro.minicc import compile_c
+from repro.toolchain.listing import parse_listing
+
+_MICRO_C = """
+int out;
+
+int work(int v) {
+    return v + 1;
+}
+
+void main() {
+    out = work(41);
+    __mmio_write(0x0070, out);
+}
+"""
+
+
+@dataclass
+class MicroResult:
+    store_cycles: int
+    check_cycles: int
+    store_instructions: int
+    check_instructions: int
+
+    @property
+    def store_us(self):
+        return self.store_cycles / 100.0
+
+    @property
+    def check_us(self):
+        return self.check_cycles / 100.0
+
+    @property
+    def per_call_us(self):
+        return self.store_us + self.check_us
+
+    @property
+    def check_to_store_ratio(self):
+        return self.check_cycles / self.store_cycles
+
+    @property
+    def paper_ratio(self):
+        return PAPER_CHECK_US / PAPER_STORE_US
+
+
+def _span(device, start, end, max_steps=500):
+    """Run from *start* to *end* PC, returning (cycles, instructions)."""
+    # advance to start
+    for _ in range(max_steps):
+        if device.cpu.pc == start:
+            break
+        device.step()
+    assert device.cpu.pc == start, "anchor not reached"
+    cycles = instructions = 0
+    for _ in range(max_steps):
+        record, violation = device.step()
+        assert violation is None
+        cycles += record.cycles
+        instructions += 1
+        if device.cpu.pc == end:
+            return cycles, instructions
+    raise AssertionError("end anchor not reached")
+
+
+def measure_micro() -> MicroResult:
+    builder = IterativeBuild()
+    asm = compile_c(_MICRO_C, "micro")
+    result = builder.build_eilid(asm, "micro.s", verify_convergence=True)
+    listing = parse_listing(result.final.listing)
+
+    store_call = check_call = None
+    for entry in listing.instructions("call"):
+        if not listing.in_unit(entry.addr, "micro.s"):
+            continue
+        if entry.note == "NS_EILID_store_ra" and store_call is None:
+            store_call = entry
+        if entry.note == "NS_EILID_check_ra" and check_call is None:
+            check_call = entry
+
+    assert store_call is not None and check_call is not None
+    # The store sequence starts at the `mov #ra, r6` 4 bytes before the
+    # shim call and ends when control reaches the original `call #work`.
+    store_start = store_call.addr - 4
+    store_end = listing.next_address(store_call.addr)
+    # The check sequence starts at `mov 0(r1), r6` and ends at the
+    # original `ret` instruction.
+    check_start = check_call.addr - 4
+    check_end = listing.next_address(check_call.addr)
+
+    device = build_device(result.final.program, security="eilid")
+    store_cycles, store_insns = _span(device, store_start, store_end)
+    check_cycles, check_insns = _span(device, check_start, check_end)
+    return MicroResult(store_cycles, check_cycles, store_insns, check_insns)
+
+
+def render_micro(result: MicroResult = None) -> str:
+    result = result or measure_micro()
+    rows = [
+        ["store path", f"{result.store_cycles} cyc", f"{result.store_us:.2f}",
+         f"{PAPER_STORE_US}", result.store_instructions, PAPER_STORE_INSTRUCTIONS],
+        ["check path", f"{result.check_cycles} cyc", f"{result.check_us:.2f}",
+         f"{PAPER_CHECK_US}", result.check_instructions, PAPER_CHECK_INSTRUCTIONS],
+        ["per call", f"{result.store_cycles + result.check_cycles} cyc",
+         f"{result.per_call_us:.2f}", f"{PAPER_PER_CALL_US}", "", ""],
+        ["check/store", "", f"{result.check_to_store_ratio:.2f}x",
+         f"{result.paper_ratio:.2f}x", "", ""],
+    ]
+    return render_table(
+        ["path", "cycles", "us (measured)", "us (paper)", "insns", "insns (paper)"],
+        rows,
+        title="Sec. VI micro: per-operation instrumentation cost",
+    )

@@ -1,0 +1,39 @@
+"""ASCII rendering helpers for tables and bar charts."""
+
+from typing import List, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Simple aligned text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_bars(labels: Sequence[str], values: Sequence[float], width=50,
+                title: Optional[str] = None, unit="") -> str:
+    """Horizontal ASCII bar chart (the Fig. 10 rendering)."""
+    peak = max(values) if values else 1
+    label_width = max(len(label) for label in labels) if labels else 0
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak)) if value else ""
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def check_or_blank(flag: bool) -> str:
+    return "v" if flag else ""

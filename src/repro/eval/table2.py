@@ -1,0 +1,22 @@
+"""Table II: control-transfer instruction sets of low-end platforms."""
+
+from typing import Dict, List
+
+from repro.isa.platforms import PLATFORMS
+from repro.eval.report import render_table
+
+
+def generate_table2() -> List[Dict[str, str]]:
+    return [platform.table_row() for platform in PLATFORMS]
+
+
+def render_table2() -> str:
+    rows = [
+        [r["platform"], r["call"], r["return"], r["return_from_interrupt"], r["indirect_call"]]
+        for r in generate_table2()
+    ]
+    return render_table(
+        ["Platform", "Call", "Return", "Return from Interrupt", "Indirect Call"],
+        rows,
+        title="Table II: instruction set in low-end platforms",
+    )

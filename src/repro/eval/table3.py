@@ -1,0 +1,19 @@
+"""Table III: registers reserved for EILID."""
+
+from typing import Dict, List
+
+from repro.eilid.policy import EilidPolicy
+from repro.eval.report import render_table
+
+
+def generate_table3() -> List[Dict[str, str]]:
+    return EilidPolicy.full().table_iii_rows()
+
+
+def render_table3() -> str:
+    rows = [[r["registers"], r["description"]] for r in generate_table3()]
+    return render_table(
+        ["Registers", "Description"],
+        rows,
+        title="Table III: reserved registers for EILID",
+    )

@@ -1,0 +1,86 @@
+"""Instruction cycle counts (MSP430x1xx Family User's Guide, SLAU049,
+Tables 3-14 and 3-15).
+
+These tables drive the simulator's cycle accounting and therefore every
+run-time number in the Table IV reproduction.  Counts are for the CPU
+clock (MCLK); the paper reports run-times at 100 MHz, i.e. 1 cycle =
+0.01 us.
+"""
+
+from repro.errors import IsaError
+from repro.isa.opcodes import Format
+from repro.isa.operands import AddrMode
+from repro.isa.registers import PC
+
+INTERRUPT_CYCLES = 6
+RESET_CYCLES = 4
+RETI_CYCLES = 5
+JUMP_CYCLES = 2
+
+# Format I (SLAU049 Table 3-15): cycles keyed by (src class, dst class).
+# Source classes: Rn, @Rn, @Rn+, #N, x(Rn) (covers symbolic/absolute).
+# Destination classes: Rm, PC, x(Rm) (covers symbolic/absolute).
+
+_SRC_CLASS = {
+    AddrMode.REGISTER: "Rn",
+    AddrMode.CONSTANT: "Rn",  # constant generators behave as register source
+    AddrMode.INDIRECT: "@Rn",
+    AddrMode.AUTOINC: "@Rn+",
+    AddrMode.IMMEDIATE: "#N",
+    AddrMode.INDEXED: "x(Rn)",
+    AddrMode.SYMBOLIC: "x(Rn)",
+    AddrMode.ABSOLUTE: "x(Rn)",
+}
+
+_FORMAT1_CYCLES = {
+    # src:   (dst=Rm, dst=PC, dst=x(Rm))
+    "Rn": (1, 2, 4),
+    "@Rn": (2, 2, 5),
+    "@Rn+": (2, 3, 5),
+    "#N": (2, 3, 5),
+    "x(Rn)": (3, 3, 6),
+}
+
+# Format II (SLAU049 Table 3-14): cycles keyed by operand class.
+
+_FORMAT2_CYCLES = {
+    # op:     Rn  @Rn  @Rn+  #N  x(Rn)
+    "rra": (1, 3, 3, None, 4),
+    "rrc": (1, 3, 3, None, 4),
+    "swpb": (1, 3, 3, None, 4),
+    "sxt": (1, 3, 3, None, 4),
+    "push": (3, 4, 5, 4, 5),
+    "call": (4, 4, 5, 5, 5),
+}
+
+_FORMAT2_COLUMN = {
+    "Rn": 0,
+    "@Rn": 1,
+    "@Rn+": 2,
+    "#N": 3,
+    "x(Rn)": 4,
+}
+
+
+def instruction_cycles(insn):
+    """Return the MCLK cycles consumed by executing *insn*."""
+    fmt = insn.opcode.format
+    if fmt is Format.JUMP:
+        return JUMP_CYCLES
+    if fmt is Format.SINGLE:
+        if insn.mnemonic == "reti":
+            return RETI_CYCLES
+        klass = _SRC_CLASS[insn.dst.mode]
+        cycles = _FORMAT2_CYCLES[insn.mnemonic][_FORMAT2_COLUMN[klass]]
+        if cycles is None:
+            raise IsaError(f"{insn.mnemonic} does not accept an immediate operand")
+        # CALL x(Rn) via the absolute mode costs one extra cycle (&EDE
+        # column of Table 3-14).
+        if insn.mnemonic == "call" and insn.dst.mode is AddrMode.ABSOLUTE:
+            cycles += 1
+        return cycles
+    src_klass = _SRC_CLASS[insn.src.mode]
+    row = _FORMAT1_CYCLES[src_klass]
+    if insn.dst.mode is AddrMode.REGISTER:
+        return row[1] if insn.dst.reg == PC else row[0]
+    return row[2]

@@ -1,0 +1,112 @@
+"""Opcode tables for the three MSP430 instruction formats.
+
+Format I  (double operand): opcode in bits 15..12 (values 0x4..0xF).
+Format II (single operand): bits 15..10 = 000100, opcode in bits 9..7.
+Jumps: bits 15..13 = 001, condition in bits 12..10, signed 10-bit
+word offset in bits 9..0.
+
+Emulated instructions (RET, POP, BR, NOP, CLR, ...) are pure assembler
+aliases over these cores; they live in `repro.toolchain.emulated`.
+"""
+
+import enum
+from dataclasses import dataclass
+
+
+class Format(enum.Enum):
+    DOUBLE = "format-i"
+    SINGLE = "format-ii"
+    JUMP = "jump"
+
+
+@dataclass(frozen=True)
+class Opcode:
+    """One core instruction: mnemonic, format, and encoding field value."""
+
+    mnemonic: str
+    format: Format
+    code: int
+    writes_dest: bool = True  # CMP/BIT/TST do not write back
+    sets_flags: bool = True  # MOV/BIC/BIS/PUSH/CALL do not touch flags
+
+
+# ---- Format I: double operand ---------------------------------------------
+
+_F1 = [
+    ("mov", 0x4, True, False),
+    ("add", 0x5, True, True),
+    ("addc", 0x6, True, True),
+    ("subc", 0x7, True, True),
+    ("sub", 0x8, True, True),
+    ("cmp", 0x9, False, True),
+    ("dadd", 0xA, True, True),
+    ("bit", 0xB, False, True),
+    ("bic", 0xC, True, False),
+    ("bis", 0xD, True, False),
+    ("xor", 0xE, True, True),
+    ("and", 0xF, True, True),
+]
+
+FORMAT1_OPCODES = {
+    name: Opcode(name, Format.DOUBLE, code, writes, flags)
+    for name, code, writes, flags in _F1
+}
+FORMAT1_BY_CODE = {op.code: op for op in FORMAT1_OPCODES.values()}
+
+# ---- Format II: single operand ---------------------------------------------
+
+_F2 = [
+    ("rrc", 0b000, True, True),
+    ("swpb", 0b001, True, False),
+    ("rra", 0b010, True, True),
+    ("sxt", 0b011, True, True),
+    ("push", 0b100, False, False),
+    ("call", 0b101, False, False),
+    ("reti", 0b110, False, True),  # restores SR from the stack
+]
+
+FORMAT2_OPCODES = {
+    name: Opcode(name, Format.SINGLE, code, writes, flags)
+    for name, code, writes, flags in _F2
+}
+FORMAT2_BY_CODE = {op.code: op for op in FORMAT2_OPCODES.values()}
+
+# Format II mnemonics that allow a byte (.b) variant.
+FORMAT2_BYTE_CAPABLE = {"rrc", "rra", "push"}
+
+# ---- Jumps ------------------------------------------------------------------
+
+_JUMPS = [
+    ("jnz", 0b000),
+    ("jz", 0b001),
+    ("jnc", 0b010),
+    ("jc", 0b011),
+    ("jn", 0b100),
+    ("jge", 0b101),
+    ("jl", 0b110),
+    ("jmp", 0b111),
+]
+
+JUMP_OPCODES = {name: Opcode(name, Format.JUMP, code, False, False) for name, code in _JUMPS}
+JUMP_BY_CODE = {op.code: op for op in JUMP_OPCODES.values()}
+
+# Accepted aliases for jump conditions (both spellings appear in TI docs).
+JUMP_ALIASES = {
+    "jne": "jnz",
+    "jeq": "jz",
+    "jlo": "jnc",
+    "jhs": "jc",
+}
+
+JUMP_OFFSET_MIN = -512
+JUMP_OFFSET_MAX = 511
+
+
+def lookup(mnemonic):
+    """Find the :class:`Opcode` for a core mnemonic (no emulated forms)."""
+    low = mnemonic.lower()
+    low = JUMP_ALIASES.get(low, low)
+    for table in (FORMAT1_OPCODES, FORMAT2_OPCODES, JUMP_OPCODES):
+        if low in table:
+            return table[low]
+    return None

@@ -1,0 +1,19 @@
+"""Memory map and bus model of the simulated openMSP430-class device.
+
+The bus records every access (fetch/read/write) with its address and the
+program counter that issued it; the CASU/EILID hardware monitors consume
+these records cycle-by-cycle, exactly as the real monitor taps the MCU
+address/data/write-enable signals.
+"""
+
+from repro.memory.map import MemoryLayout, Region, RegionKind
+from repro.memory.bus import Access, AccessKind, Bus
+
+__all__ = [
+    "MemoryLayout",
+    "Region",
+    "RegionKind",
+    "Access",
+    "AccessKind",
+    "Bus",
+]

@@ -1,0 +1,164 @@
+"""Byte-addressable bus with per-access records.
+
+Every CPU access goes through :class:`Bus`, which keeps the raw 64 KB
+byte array, dispatches peripheral-register accesses to handlers, and
+appends an :class:`Access` record to the current cycle's trace.  The
+hardware monitors (``repro.casu.monitor``) see exactly these records --
+the Python equivalent of tapping the MCU's ``mab``/``mdb``/``wen``
+signals.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import MemoryAccessError
+from repro.memory.map import MemoryLayout
+
+ADDRESS_SPACE = 0x10000
+
+
+class AccessKind(enum.Enum):
+    FETCH = "fetch"  # instruction/extension word fetch
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One bus transaction, as seen by the hardware monitors."""
+
+    kind: AccessKind
+    addr: int
+    value: int
+    size: int  # 1 or 2 bytes
+    pc: int  # PC of the instruction issuing the access
+    prev: Optional[int] = None  # pre-write contents (writes only; for rollback)
+
+    def __str__(self):
+        return f"{self.kind.value.upper():5s} 0x{self.addr:04x} = 0x{self.value:04x} (pc=0x{self.pc:04x})"
+
+
+class Bus:
+    """Flat memory plus peripheral dispatch and access recording."""
+
+    def __init__(self, layout: Optional[MemoryLayout] = None):
+        self.layout = layout or MemoryLayout.default()
+        self.mem = bytearray(ADDRESS_SPACE)
+        self._read_handlers: Dict[int, Callable[[], int]] = {}
+        self._write_handlers: Dict[int, Callable[[int], None]] = {}
+        self.trace: List[Access] = []
+        self.recording = True
+        # PC context for access records; the CPU sets this each step.
+        self.current_pc = 0
+
+    # ---- peripheral registration ------------------------------------------
+
+    def register_peripheral_word(self, addr, read=None, write=None):
+        """Attach handlers for a 16-bit peripheral register at *addr*."""
+        if not self.layout.in_peripheral(addr):
+            raise MemoryAccessError(f"0x{addr:04x} is not in the peripheral region")
+        if read is not None:
+            self._read_handlers[addr] = read
+        if write is not None:
+            self._write_handlers[addr] = write
+
+    # ---- raw (monitor-invisible) access for loaders and test harnesses ----
+
+    def load_bytes(self, addr, data):
+        """Back-door write used by the image loader / attack harness.
+
+        This models an external agent (programmer, DMA-capable attacker)
+        rather than a CPU bus transaction, so it is not traced.  Security
+        arguments never rely on it: CASU guards *CPU-issued* writes.
+        """
+        end = addr + len(data)
+        if end > ADDRESS_SPACE:
+            raise MemoryAccessError("image does not fit in the address space")
+        self.mem[addr:end] = data
+
+    def peek_word(self, addr):
+        self._check(addr, 2)
+        return self.mem[addr] | (self.mem[addr + 1] << 8)
+
+    def peek_byte(self, addr):
+        self._check(addr, 1)
+        return self.mem[addr]
+
+    def poke_word(self, addr, value):
+        self._check(addr, 2)
+        self.mem[addr] = value & 0xFF
+        self.mem[addr + 1] = (value >> 8) & 0xFF
+
+    # ---- CPU-visible access -------------------------------------------------
+
+    def fetch_word(self, addr):
+        """Instruction-stream fetch (monitored as FETCH)."""
+        value = self._read_word_raw(addr)
+        self._record(AccessKind.FETCH, addr, value, 2)
+        return value
+
+    def read_word(self, addr):
+        if addr in self._read_handlers:
+            value = self._read_handlers[addr]() & 0xFFFF
+            self.poke_word(addr, value)  # keep backing store coherent
+        else:
+            value = self._read_word_raw(addr)
+        self._record(AccessKind.READ, addr, value, 2)
+        return value
+
+    def read_byte(self, addr):
+        base = addr & ~1
+        if base in self._read_handlers:
+            word = self._read_handlers[base]() & 0xFFFF
+            self.poke_word(base, word)
+        self._check(addr, 1)
+        value = self.mem[addr]
+        self._record(AccessKind.READ, addr, value, 1)
+        return value
+
+    def write_word(self, addr, value):
+        value &= 0xFFFF
+        self._record(AccessKind.WRITE, addr, value, 2, prev=self.peek_word(addr))
+        self.poke_word(addr, value)
+        if addr in self._write_handlers:
+            self._write_handlers[addr](value)
+
+    def write_byte(self, addr, value):
+        value &= 0xFF
+        self._check(addr, 1)
+        self._record(AccessKind.WRITE, addr, value, 1, prev=self.mem[addr])
+        self.mem[addr] = value
+        base = addr & ~1
+        if base in self._write_handlers:
+            self._write_handlers[base](self.peek_word(base))
+
+    # ---- internals -----------------------------------------------------------
+
+    def _read_word_raw(self, addr):
+        self._check(addr, 2)
+        return self.mem[addr] | (self.mem[addr + 1] << 8)
+
+    def _check(self, addr, size):
+        if addr < 0 or addr + size > ADDRESS_SPACE:
+            raise MemoryAccessError(f"access at 0x{addr:04x} outside address space")
+
+    def _record(self, kind, addr, value, size, prev=None):
+        if self.recording:
+            self.trace.append(Access(kind, addr, value, size, self.current_pc, prev))
+
+    def rollback_writes(self, accesses):
+        """Undo the WRITE accesses of one step (hardware reset semantics:
+        a violating instruction never commits)."""
+        for access in reversed(accesses):
+            if access.kind is not AccessKind.WRITE or access.prev is None:
+                continue
+            if access.size == 2:
+                self.poke_word(access.addr, access.prev)
+            else:
+                self.mem[access.addr] = access.prev & 0xFF
+
+    def drain_trace(self):
+        """Return and clear the accesses recorded since the last drain."""
+        trace, self.trace = self.trace, []
+        return trace

@@ -1,0 +1,29 @@
+"""mini-C: a small C-subset compiler targeting the MSP430 dialect.
+
+The paper's applications are C programs compiled with msp430-gcc and
+then instrumented at the assembly level (Fig. 2: ``app.c -> app_N.s``).
+This package reproduces that flow end-to-end in the repo: the seven
+Table IV applications are written in mini-C, compiled to ``.s`` by this
+compiler, and instrumented by EILIDinst exactly as the paper describes.
+
+Language subset: 16-bit ``int`` (and ``void`` returns), global scalars
+and word arrays, functions with up to three word parameters, ``if`` /
+``else`` / ``while`` / ``for`` / ``return``, full expression grammar
+(including ``* / %`` compiled to inline shift-add loops -- no runtime
+library calls, so every ``call`` in the output belongs to the
+application and is visible to the instrumenter), function pointers
+(taking a function's value and calling through a variable compiles to
+an indirect ``call rN``, the paper's Fig. 8 case), interrupt handlers
+via ``__interrupt(N)``, and MMIO intrinsics:
+
+* ``__mmio_read(ADDR)`` / ``__mmio_write(ADDR, V)`` -- constant address
+* ``__enable_interrupts()`` / ``__disable_interrupts()`` / ``__nop()``
+
+Calling convention (internal, stack-machine): args in r15/r14/r13,
+return in r15, frame pointer r10, scratch r11-r15.  Registers r4-r7 are
+never touched: they are reserved for EILID (paper Table III).
+"""
+
+from repro.minicc.compiler import compile_c
+
+__all__ = ["compile_c"]

@@ -1,0 +1,12 @@
+"""mini-C compiler driver."""
+
+from repro.minicc.codegen import CodeGenerator
+from repro.minicc.parser import parse_c
+from repro.minicc.sema import analyse
+
+
+def compile_c(source, module_name="app"):
+    """Compile mini-C *source* text to MSP430 assembly text."""
+    program = parse_c(source)
+    env = analyse(program)
+    return CodeGenerator(program, env, module_name).generate()

@@ -1,0 +1,92 @@
+"""mini-C lexer."""
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class CCompileError(ReproError):
+    """Raised for mini-C compile errors (lexical, syntax, semantic)."""
+
+    def __init__(self, message, line=None):
+        self.line = line
+        where = f"line {line}: " if line is not None else ""
+        super().__init__(where + message)
+
+
+KEYWORDS = {
+    "int",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<num>0[xX][0-9a-fA-F]+|0[bB][01]+|\d+)
+  | (?P<char>'(?:\\.|[^'\\])')
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op><<=?|>>=?|<=|>=|==|!=|&&|\|\||[+\-*/%&|^~!<>=(){}\[\];,])
+  | (?P<ws>[ \t\r]+)
+  | (?P<nl>\n)
+""",
+    re.VERBOSE | re.DOTALL,
+)
+
+_CHAR_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # num | ident | keyword | op | eof
+    text: str
+    value: int  # numeric value for 'num'
+    line: int
+
+
+def tokenize(source):
+    """Tokenize mini-C *source* into a token list ending with EOF."""
+    tokens = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise CCompileError(f"bad character {source[pos]!r}", line)
+        pos = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "nl":
+            line += 1
+            continue
+        if kind == "ws":
+            continue
+        if kind == "comment":
+            line += text.count("\n")
+            continue
+        if kind == "num":
+            base = 16 if text[:2].lower() == "0x" else 2 if text[:2].lower() == "0b" else 10
+            tokens.append(Token("num", text, int(text, base), line))
+        elif kind == "char":
+            inner = text[1:-1]
+            if inner.startswith("\\"):
+                code = _CHAR_ESCAPES.get(inner[1])
+                if code is None:
+                    raise CCompileError(f"unknown escape {inner!r}", line)
+            else:
+                code = ord(inner)
+            tokens.append(Token("num", text, code, line))
+        elif kind == "ident":
+            tok_kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(tok_kind, text, 0, line))
+        else:
+            tokens.append(Token("op", text, 0, line))
+    tokens.append(Token("eof", "", 0, line))
+    return tokens

@@ -1,0 +1,155 @@
+"""mini-C abstract syntax tree."""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+# ---- expressions -----------------------------------------------------------
+
+
+@dataclass
+class Num:
+    value: int
+    line: int = 0
+
+
+@dataclass
+class Var:
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Index:
+    name: str
+    index: object
+    line: int = 0
+
+
+@dataclass
+class Unary:
+    op: str  # - ~ !
+    operand: object
+    line: int = 0
+
+
+@dataclass
+class Binary:
+    op: str  # + - * / % & | ^ << >> == != < <= > >= && ||
+    left: object
+    right: object
+    line: int = 0
+
+
+@dataclass
+class Call:
+    callee: str
+    args: List[object] = field(default_factory=list)
+    line: int = 0
+
+
+# ---- statements --------------------------------------------------------------
+
+
+@dataclass
+class Block:
+    body: List[object] = field(default_factory=list)
+
+
+@dataclass
+class LocalDecl:
+    name: str
+    init: Optional[object] = None
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    target: object  # Var or Index
+    value: object = None
+    line: int = 0
+
+
+@dataclass
+class If:
+    cond: object
+    then: Block = None
+    els: Optional[Block] = None
+    line: int = 0
+
+
+@dataclass
+class While:
+    cond: object
+    body: Block = None
+    line: int = 0
+
+
+@dataclass
+class For:
+    init: Optional[object]
+    cond: Optional[object]
+    step: Optional[object]
+    body: Block = None
+    line: int = 0
+
+
+@dataclass
+class Return:
+    value: Optional[object] = None
+    line: int = 0
+
+
+@dataclass
+class Break:
+    line: int = 0
+
+
+@dataclass
+class Continue:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt:
+    expr: object = None
+    line: int = 0
+
+
+# ---- declarations ---------------------------------------------------------------
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    array_size: Optional[int] = None
+    init: Optional[List[int]] = None  # folded constants
+    line: int = 0
+
+
+@dataclass
+class Param:
+    name: str
+    line: int = 0
+
+
+@dataclass
+class FuncDef:
+    name: str
+    params: List[Param]
+    body: Block
+    returns_value: bool = True  # int vs void
+    isr_vector: Optional[int] = None
+    line: int = 0
+
+
+@dataclass
+class Program:
+    globals_: List[GlobalVar] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)
+
+    def function(self, name):
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        return None

@@ -1,0 +1,345 @@
+"""mini-C recursive-descent parser."""
+
+from repro.minicc.lexer import CCompileError, tokenize
+from repro.minicc import nodes as N
+
+# Binary operator precedence (low to high).
+_PRECEDENCE = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ---- token helpers -----------------------------------------------------
+
+    @property
+    def tok(self):
+        return self.tokens[self.pos]
+
+    def advance(self):
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def accept(self, kind, text=None):
+        tok = self.tok
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind, text=None):
+        tok = self.accept(kind, text)
+        if tok is None:
+            want = text or kind
+            raise CCompileError(f"expected {want!r}, got {self.tok.text!r}", self.tok.line)
+        return tok
+
+    # ---- program ---------------------------------------------------------------
+
+    def parse_program(self):
+        program = N.Program()
+        while self.tok.kind != "eof":
+            self._parse_top_level(program)
+        return program
+
+    def _parse_top_level(self, program):
+        isr_vector = None
+        if self.accept("ident", "__interrupt"):
+            self.expect("op", "(")
+            vec = self.expect("num")
+            self.expect("op", ")")
+            isr_vector = vec.value
+
+        if self.accept("keyword", "void"):
+            returns_value = False
+        else:
+            self.expect("keyword", "int")
+            returns_value = True
+
+        name = self.expect("ident")
+
+        if self.tok.text == "(":
+            program.functions.append(
+                self._parse_function(name.text, returns_value, isr_vector, name.line)
+            )
+            return
+
+        if isr_vector is not None:
+            raise CCompileError("__interrupt applies to functions only", name.line)
+        if not returns_value:
+            raise CCompileError("variables must be int", name.line)
+        program.globals_.append(self._parse_global(name))
+
+    def _parse_global(self, name):
+        array_size = None
+        init = None
+        if self.accept("op", "["):
+            size = self.expect("num")
+            self.expect("op", "]")
+            array_size = size.value
+            if array_size <= 0:
+                raise CCompileError("array size must be positive", name.line)
+        if self.accept("op", "="):
+            if array_size is None:
+                init = [self._parse_const_expr()]
+            else:
+                self.expect("op", "{")
+                init = [self._parse_const_expr()]
+                while self.accept("op", ","):
+                    init.append(self._parse_const_expr())
+                self.expect("op", "}")
+                if len(init) > array_size:
+                    raise CCompileError("too many initialisers", name.line)
+        self.expect("op", ";")
+        return N.GlobalVar(name.text, array_size, init, name.line)
+
+    def _parse_const_expr(self):
+        expr = self.parse_expression()
+        value = _fold(expr)
+        if value is None:
+            raise CCompileError("initialiser must be a constant expression", self.tok.line)
+        return value & 0xFFFF
+
+    def _parse_function(self, name, returns_value, isr_vector, line):
+        self.expect("op", "(")
+        params = []
+        if not self.accept("op", ")"):
+            if self.accept("keyword", "void"):
+                self.expect("op", ")")
+            else:
+                while True:
+                    self.expect("keyword", "int")
+                    pname = self.expect("ident")
+                    params.append(N.Param(pname.text, pname.line))
+                    if not self.accept("op", ","):
+                        break
+                self.expect("op", ")")
+        if len(params) > 3:
+            raise CCompileError("at most 3 parameters supported", line)
+        if isr_vector is not None and (params or returns_value):
+            raise CCompileError("interrupt handlers must be `void f()`", line)
+        body = self.parse_block()
+        return N.FuncDef(name, params, body, returns_value, isr_vector, line)
+
+    # ---- statements ----------------------------------------------------------------
+
+    def parse_block(self):
+        self.expect("op", "{")
+        block = N.Block()
+        while not self.accept("op", "}"):
+            block.body.append(self.parse_statement())
+        return block
+
+    def parse_statement(self):
+        tok = self.tok
+
+        if tok.text == "{":
+            return self.parse_block()
+
+        if self.accept("keyword", "int"):
+            name = self.expect("ident")
+            init = None
+            if self.accept("op", "="):
+                init = self.parse_expression()
+            self.expect("op", ";")
+            return N.LocalDecl(name.text, init, name.line)
+
+        if self.accept("keyword", "if"):
+            self.expect("op", "(")
+            cond = self.parse_expression()
+            self.expect("op", ")")
+            then = self._statement_as_block()
+            els = None
+            if self.accept("keyword", "else"):
+                els = self._statement_as_block()
+            return N.If(cond, then, els, tok.line)
+
+        if self.accept("keyword", "while"):
+            self.expect("op", "(")
+            cond = self.parse_expression()
+            self.expect("op", ")")
+            return N.While(cond, self._statement_as_block(), tok.line)
+
+        if self.accept("keyword", "for"):
+            self.expect("op", "(")
+            if self.tok.text == ";":
+                init = None
+            elif self.accept("keyword", "int"):
+                name = self.expect("ident")
+                value = None
+                if self.accept("op", "="):
+                    value = self.parse_expression()
+                init = N.LocalDecl(name.text, value, name.line)
+            else:
+                init = self._simple_statement()
+            self.expect("op", ";")
+            cond = None if self.tok.text == ";" else self.parse_expression()
+            self.expect("op", ";")
+            step = None if self.tok.text == ")" else self._simple_statement()
+            self.expect("op", ")")
+            return N.For(init, cond, step, self._statement_as_block(), tok.line)
+
+        if self.accept("keyword", "return"):
+            value = None
+            if self.tok.text != ";":
+                value = self.parse_expression()
+            self.expect("op", ";")
+            return N.Return(value, tok.line)
+
+        if self.accept("keyword", "break"):
+            self.expect("op", ";")
+            return N.Break(tok.line)
+
+        if self.accept("keyword", "continue"):
+            self.expect("op", ";")
+            return N.Continue(tok.line)
+
+        stmt = self._simple_statement()
+        self.expect("op", ";")
+        return stmt
+
+    def _statement_as_block(self):
+        stmt = self.parse_statement()
+        if isinstance(stmt, N.Block):
+            return stmt
+        return N.Block([stmt])
+
+    def _simple_statement(self):
+        """Assignment or expression statement (no trailing ';')."""
+        start = self.pos
+        line = self.tok.line
+        if self.tok.kind == "ident":
+            name = self.advance()
+            target = None
+            if self.tok.text == "=":
+                target = N.Var(name.text, name.line)
+            elif self.tok.text == "[":
+                self.advance()
+                index = self.parse_expression()
+                self.expect("op", "]")
+                if self.tok.text == "=":
+                    target = N.Index(name.text, index, name.line)
+            if target is not None and self.accept("op", "="):
+                value = self.parse_expression()
+                return N.Assign(target, value, line)
+            self.pos = start  # not an assignment: re-parse as expression
+        expr = self.parse_expression()
+        return N.ExprStmt(expr, line)
+
+    # ---- expressions ------------------------------------------------------------------
+
+    def parse_expression(self, level=0):
+        if level == len(_PRECEDENCE):
+            return self._unary()
+        ops = _PRECEDENCE[level]
+        left = self.parse_expression(level + 1)
+        while self.tok.kind == "op" and self.tok.text in ops:
+            op = self.advance()
+            right = self.parse_expression(level + 1)
+            left = N.Binary(op.text, left, right, op.line)
+        return left
+
+    def _unary(self):
+        tok = self.tok
+        if tok.kind == "op" and tok.text in ("-", "~", "!"):
+            self.advance()
+            return N.Unary(tok.text, self._unary(), tok.line)
+        if tok.kind == "op" and tok.text == "&":
+            # Address-of a function: `&blink` is the same as `blink`.
+            self.advance()
+            name = self.expect("ident")
+            return N.Var(name.text, name.line)
+        return self._postfix()
+
+    def _postfix(self):
+        tok = self.tok
+        if tok.kind == "num":
+            self.advance()
+            return N.Num(tok.value, tok.line)
+        if tok.kind == "op" and tok.text == "(":
+            self.advance()
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        if tok.kind == "ident":
+            name = self.advance()
+            if self.accept("op", "("):
+                args = []
+                if not self.accept("op", ")"):
+                    args.append(self.parse_expression())
+                    while self.accept("op", ","):
+                        args.append(self.parse_expression())
+                    self.expect("op", ")")
+                return N.Call(name.text, args, name.line)
+            if self.accept("op", "["):
+                index = self.parse_expression()
+                self.expect("op", "]")
+                return N.Index(name.text, index, name.line)
+            return N.Var(name.text, name.line)
+        raise CCompileError(f"unexpected token {tok.text!r}", tok.line)
+
+
+def _fold(expr):
+    """Constant-fold an expression; returns int or None."""
+    if isinstance(expr, N.Num):
+        return expr.value
+    if isinstance(expr, N.Unary):
+        value = _fold(expr.operand)
+        if value is None:
+            return None
+        if expr.op == "-":
+            return -value
+        if expr.op == "~":
+            return ~value
+        return 0 if value else 1
+    if isinstance(expr, N.Binary):
+        left = _fold(expr.left)
+        right = _fold(expr.right)
+        if left is None or right is None:
+            return None
+        try:
+            return {
+                "+": lambda: left + right,
+                "-": lambda: left - right,
+                "*": lambda: left * right,
+                "/": lambda: left // right if right else None,
+                "%": lambda: left % right if right else None,
+                "&": lambda: left & right,
+                "|": lambda: left | right,
+                "^": lambda: left ^ right,
+                "<<": lambda: left << right,
+                ">>": lambda: left >> right,
+                "==": lambda: int(left == right),
+                "!=": lambda: int(left != right),
+                "<": lambda: int(left < right),
+                "<=": lambda: int(left <= right),
+                ">": lambda: int(left > right),
+                ">=": lambda: int(left >= right),
+                "&&": lambda: int(bool(left) and bool(right)),
+                "||": lambda: int(bool(left) or bool(right)),
+            }[expr.op]()
+        except KeyError:
+            return None
+    return None
+
+
+def parse_c(source):
+    """Parse mini-C *source* into a :class:`Program`."""
+    return Parser(tokenize(source)).parse_program()
+
+
+fold_const = _fold

@@ -1,0 +1,203 @@
+"""mini-C semantic checks.
+
+Validates name resolution, arity, array indexing, assignment targets,
+intrinsic usage, and ISR constraints before code generation.  Produces
+the symbol environment the code generator uses.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.minicc.lexer import CCompileError
+from repro.minicc import nodes as N
+from repro.minicc.parser import fold_const
+
+INTRINSICS = {
+    "__mmio_read": 1,
+    "__mmio_write": 2,
+    "__enable_interrupts": 0,
+    "__disable_interrupts": 0,
+    "__nop": 0,
+}
+
+
+@dataclass
+class Environment:
+    globals_: Dict[str, N.GlobalVar] = field(default_factory=dict)
+    functions: Dict[str, N.FuncDef] = field(default_factory=dict)
+    # Functions whose address is taken (assigned/passed as a value):
+    # these are indirect-call candidates.
+    address_taken: Set[str] = field(default_factory=set)
+
+
+def analyse(program):
+    """Check *program*; returns the :class:`Environment`."""
+    env = Environment()
+    for gvar in program.globals_:
+        if gvar.name in env.globals_:
+            raise CCompileError(f"duplicate global {gvar.name!r}", gvar.line)
+        if gvar.name in INTRINSICS:
+            raise CCompileError(f"{gvar.name!r} is a reserved name", gvar.line)
+        env.globals_[gvar.name] = gvar
+    for fn in program.functions:
+        if fn.name in env.functions or fn.name in env.globals_:
+            raise CCompileError(f"duplicate definition {fn.name!r}", fn.line)
+        if fn.name in INTRINSICS:
+            raise CCompileError(f"{fn.name!r} is a reserved name", fn.line)
+        env.functions[fn.name] = fn
+
+    if "main" not in env.functions:
+        raise CCompileError("program has no main()")
+    if env.functions["main"].params:
+        raise CCompileError("main() takes no parameters")
+
+    for fn in program.functions:
+        _check_function(fn, env)
+    return env
+
+
+def _check_function(fn, env):
+    locals_: Set[str] = set()
+    for param in fn.params:
+        if param.name in locals_:
+            raise CCompileError(f"duplicate parameter {param.name!r}", param.line)
+        locals_.add(param.name)
+    _check_block(fn.body, fn, env, locals_, loop_depth=0)
+
+
+def _check_block(block, fn, env, locals_, loop_depth):
+    for stmt in block.body:
+        _check_stmt(stmt, fn, env, locals_, loop_depth)
+
+
+def _check_stmt(stmt, fn, env, locals_, loop_depth):
+    if isinstance(stmt, N.Block):
+        _check_block(stmt, fn, env, locals_, loop_depth)
+    elif isinstance(stmt, N.LocalDecl):
+        if stmt.name in locals_:
+            raise CCompileError(f"duplicate local {stmt.name!r}", stmt.line)
+        if stmt.init is not None:
+            _check_expr(stmt.init, fn, env, locals_)
+        locals_.add(stmt.name)
+    elif isinstance(stmt, N.Assign):
+        _check_assign_target(stmt.target, fn, env, locals_)
+        _check_expr(stmt.value, fn, env, locals_)
+    elif isinstance(stmt, N.If):
+        _check_expr(stmt.cond, fn, env, locals_)
+        _check_block(stmt.then, fn, env, locals_, loop_depth)
+        if stmt.els is not None:
+            _check_block(stmt.els, fn, env, locals_, loop_depth)
+    elif isinstance(stmt, N.While):
+        _check_expr(stmt.cond, fn, env, locals_)
+        _check_block(stmt.body, fn, env, locals_, loop_depth + 1)
+    elif isinstance(stmt, N.For):
+        if stmt.init is not None:
+            _check_stmt(stmt.init, fn, env, locals_, loop_depth)
+        if stmt.cond is not None:
+            _check_expr(stmt.cond, fn, env, locals_)
+        if stmt.step is not None:
+            _check_stmt(stmt.step, fn, env, locals_, loop_depth)
+        _check_block(stmt.body, fn, env, locals_, loop_depth + 1)
+    elif isinstance(stmt, N.Return):
+        if stmt.value is not None:
+            if not fn.returns_value:
+                raise CCompileError("void function returns a value", stmt.line)
+            _check_expr(stmt.value, fn, env, locals_)
+        elif fn.returns_value:
+            raise CCompileError("int function must return a value", stmt.line)
+    elif isinstance(stmt, (N.Break, N.Continue)):
+        if loop_depth == 0:
+            raise CCompileError("break/continue outside a loop", stmt.line)
+    elif isinstance(stmt, N.ExprStmt):
+        _check_expr(stmt.expr, fn, env, locals_, statement_position=True)
+    else:  # pragma: no cover
+        raise CCompileError(f"unknown statement {type(stmt).__name__}")
+
+
+def _check_assign_target(target, fn, env, locals_):
+    if isinstance(target, N.Var):
+        if target.name in locals_:
+            return
+        gvar = env.globals_.get(target.name)
+        if gvar is None:
+            raise CCompileError(f"undefined variable {target.name!r}", target.line)
+        if gvar.array_size is not None:
+            raise CCompileError("cannot assign to an array name", target.line)
+        return
+    if isinstance(target, N.Index):
+        gvar = env.globals_.get(target.name)
+        if gvar is None or gvar.array_size is None:
+            raise CCompileError(f"{target.name!r} is not an array", target.line)
+        _check_expr(target.index, fn, env, locals_)
+        return
+    raise CCompileError("bad assignment target")
+
+
+def _check_expr(expr, fn, env, locals_, statement_position=False):
+    if isinstance(expr, N.Num):
+        return
+    if isinstance(expr, N.Var):
+        if expr.name in locals_ or expr.name in env.globals_:
+            if expr.name in env.globals_:
+                return
+            return
+        fn_def = env.functions.get(expr.name)
+        if fn_def is not None:
+            if fn_def.isr_vector is not None:
+                raise CCompileError("cannot take the address of an ISR", expr.line)
+            env.address_taken.add(expr.name)
+            return
+        raise CCompileError(f"undefined identifier {expr.name!r}", expr.line)
+    if isinstance(expr, N.Index):
+        gvar = env.globals_.get(expr.name)
+        if gvar is None or gvar.array_size is None:
+            raise CCompileError(f"{expr.name!r} is not an array", expr.line)
+        _check_expr(expr.index, fn, env, locals_)
+        return
+    if isinstance(expr, N.Unary):
+        _check_expr(expr.operand, fn, env, locals_)
+        return
+    if isinstance(expr, N.Binary):
+        _check_expr(expr.left, fn, env, locals_)
+        _check_expr(expr.right, fn, env, locals_)
+        return
+    if isinstance(expr, N.Call):
+        _check_call(expr, fn, env, locals_, statement_position)
+        return
+    raise CCompileError(f"unknown expression {type(expr).__name__}")
+
+
+def _check_call(call, fn, env, locals_, statement_position):
+    name = call.callee
+    if name in INTRINSICS:
+        arity = INTRINSICS[name]
+        if len(call.args) != arity:
+            raise CCompileError(f"{name} takes {arity} argument(s)", call.line)
+        if name in ("__mmio_read", "__mmio_write"):
+            if fold_const(call.args[0]) is None:
+                raise CCompileError(f"{name} address must be constant", call.line)
+        if name != "__mmio_read" and not statement_position:
+            raise CCompileError(f"{name} is a statement, not a value", call.line)
+        for arg in call.args[1:] if name == "__mmio_write" else call.args:
+            _check_expr(arg, fn, env, locals_)
+        return
+
+    target = env.functions.get(name)
+    if target is not None:
+        if target.isr_vector is not None:
+            raise CCompileError("interrupt handlers cannot be called", call.line)
+        if not target.returns_value and not statement_position:
+            raise CCompileError(f"void {name}() used as a value", call.line)
+        if len(call.args) != len(target.params):
+            raise CCompileError(
+                f"{name} takes {len(target.params)} argument(s), got {len(call.args)}",
+                call.line,
+            )
+    elif name in locals_ or name in env.globals_:
+        # Indirect call through a variable holding a function address.
+        if len(call.args) > 3:
+            raise CCompileError("at most 3 arguments supported", call.line)
+    else:
+        raise CCompileError(f"call to undefined function {name!r}", call.line)
+    for arg in call.args:
+        _check_expr(arg, fn, env, locals_)

@@ -1,0 +1,76 @@
+"""Peripheral base class."""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class IoEvent:
+    """One externally observable output event."""
+
+    cycle: int
+    port: str
+    value: int
+
+
+class Peripheral:
+    """Base: register handlers on the bus, advance with CPU cycles.
+
+    ``self.now`` is the device cycle counter, updated by the device
+    before peripheral handlers can run, so event timestamps and
+    schedules are cycle-accurate.
+    """
+
+    name = "peripheral"
+
+    def __init__(self):
+        self.now = 0
+        self.events: List[IoEvent] = []
+        self._ic = None
+
+    def attach(self, bus, interrupt_controller=None):
+        self._ic = interrupt_controller
+        self._register(bus)
+
+    def _register(self, bus):
+        raise NotImplementedError
+
+    def tick(self, cycles):
+        """Advance simulated time by *cycles* CPU cycles."""
+        self.now += cycles
+
+    def reset(self):
+        """Device reset: clear transient state but keep the event log.
+
+        Event logs survive reset on purpose: they are the experiment's
+        observation channel, not device state.
+        """
+
+    # Additional list-valued log attributes (subclasses extend); all are
+    # rolled back when a monitor violation voids the in-flight step.
+    _log_attrs = ()
+
+    def snapshot_logs(self):
+        """Capture log positions before a CPU step (for violation rollback)."""
+        state = {"events": len(self.events)}
+        for attr in self._log_attrs:
+            state[attr] = len(getattr(self, attr))
+        return state
+
+    def rollback_logs(self, state):
+        """Drop log entries appended by a voided (violating) step."""
+        del self.events[state["events"]:]
+        for attr in self._log_attrs:
+            del getattr(self, attr)[state[attr]:]
+
+    def emit(self, port, value):
+        self.events.append(IoEvent(self.now, port, value & 0xFFFF))
+
+    def raise_irq(self, vector):
+        if self._ic is not None:
+            self._ic.request(vector)
+
+    # ---- trace helpers -----------------------------------------------------
+
+    def event_values(self, port=None):
+        return [e.value for e in self.events if port is None or e.port == port]

@@ -1,0 +1,35 @@
+"""Assembler, linker and build driver for the MSP430 dialect.
+
+The toolchain produces the three artifact kinds the EILID workflow
+consumes (paper Fig. 2):
+
+* ``.s``  -- assembly source (`parse_source` -> :class:`AsmUnit`)
+* ``.elf``-equivalent -- a linked :class:`LinkedProgram` (memory image,
+  symbols, section info)
+* ``.lst`` -- a text listing with final addresses and encodings
+  (`repro.toolchain.listing`), which EILIDinst parses to resolve return
+  addresses.
+
+Assembly is deliberately two-stage: parsing computes statement sizes
+(operand syntax fully determines encoding size), the linker assigns
+addresses and encodes.  This mirrors an absolute assembler plus a
+sectioned linker and keeps the Fig. 2 address-shift behaviour faithful.
+"""
+
+from repro.toolchain.parser import parse_source, AsmUnit
+from repro.toolchain.linker import link, LinkedProgram
+from repro.toolchain.listing import render_listing, parse_listing, ListingIndex
+from repro.toolchain.build import BuildPipeline, BuildResult, SourceModule
+
+__all__ = [
+    "parse_source",
+    "AsmUnit",
+    "link",
+    "LinkedProgram",
+    "render_listing",
+    "parse_listing",
+    "ListingIndex",
+    "BuildPipeline",
+    "BuildResult",
+    "SourceModule",
+]

@@ -1,0 +1,107 @@
+"""Emulated-instruction expansion (SLAU049 Table 3-13).
+
+Each emulated mnemonic maps to exactly one core instruction, so listings
+stay line-for-line with the source and the instrumenter sees one
+instruction per statement.  `ret`, `pop`, `br` and friends are what the
+EILID instrumenter actually matches on after expansion: a `ret` is a
+``mov @sp+, pc``, which is why a corrupted stack word becomes the new PC
+-- the attack EILID's P1 check intercepts.
+"""
+
+from repro.errors import AsmSyntaxError
+from repro.toolchain.operand_spec import OperandSpec, SpecKind
+from repro.isa.registers import CG2, PC, SP, SR
+
+# mnemonic -> (core mnemonic, operand builder)
+# Builders receive the parsed operand list and return (src, dst) specs.
+
+
+def _no_operands(specs, core_src, core_dst):
+    def build(operands, filename, line):
+        if operands:
+            raise AsmSyntaxError("instruction takes no operands", filename, line)
+        return core_src, core_dst
+
+    return build
+
+
+def _one_operand(make_src):
+    def build(operands, filename, line):
+        if len(operands) != 1:
+            raise AsmSyntaxError("instruction takes one operand", filename, line)
+        return make_src(operands[0])
+
+    return build
+
+
+_REG = OperandSpec(SpecKind.REG, reg=PC)
+_SP_AUTOINC = OperandSpec(SpecKind.AUTOINC, reg=SP)
+_SR_REG = OperandSpec(SpecKind.REG, reg=SR)
+_PC_REG = OperandSpec(SpecKind.REG, reg=PC)
+_CG2_REG = OperandSpec(SpecKind.REG, reg=CG2)
+
+
+def _imm(value):
+    return OperandSpec(SpecKind.IMM, expr=str(value))
+
+
+# Table of emulated instructions.  Value: (core mnemonic, builder).
+EMULATED = {
+    "ret": ("mov", _no_operands(None, _SP_AUTOINC, _PC_REG)),
+    "nop": ("mov", _no_operands(None, _CG2_REG, _CG2_REG)),
+    "pop": ("mov", _one_operand(lambda dst: (_SP_AUTOINC, dst))),
+    "br": ("mov", _one_operand(lambda src: (src, _PC_REG))),
+    "clr": ("mov", _one_operand(lambda dst: (_imm(0), dst))),
+    "clrc": ("bic", _no_operands(None, _imm(1), _SR_REG)),
+    "setc": ("bis", _no_operands(None, _imm(1), _SR_REG)),
+    "clrz": ("bic", _no_operands(None, _imm(2), _SR_REG)),
+    "setz": ("bis", _no_operands(None, _imm(2), _SR_REG)),
+    "clrn": ("bic", _no_operands(None, _imm(4), _SR_REG)),
+    "setn": ("bis", _no_operands(None, _imm(4), _SR_REG)),
+    "dint": ("bic", _no_operands(None, _imm(8), _SR_REG)),
+    "eint": ("bis", _no_operands(None, _imm(8), _SR_REG)),
+    "inc": ("add", _one_operand(lambda dst: (_imm(1), dst))),
+    "incd": ("add", _one_operand(lambda dst: (_imm(2), dst))),
+    "dec": ("sub", _one_operand(lambda dst: (_imm(1), dst))),
+    "decd": ("sub", _one_operand(lambda dst: (_imm(2), dst))),
+    "tst": ("cmp", _one_operand(lambda dst: (_imm(0), dst))),
+    "inv": ("xor", _one_operand(lambda dst: (_imm(-1), dst))),
+    "rla": ("add", _one_operand(lambda dst: (dst, dst))),
+    "rlc": ("addc", _one_operand(lambda dst: (dst, dst))),
+    "adc": ("addc", _one_operand(lambda dst: (_imm(0), dst))),
+    "sbc": ("subc", _one_operand(lambda dst: (_imm(0), dst))),
+    "dadc": ("dadd", _one_operand(lambda dst: (_imm(0), dst))),
+}
+
+# Emulated forms that have byte variants (same set as their cores).
+BYTE_CAPABLE = {
+    "pop",
+    "clr",
+    "inc",
+    "incd",
+    "dec",
+    "decd",
+    "tst",
+    "inv",
+    "rla",
+    "rlc",
+    "adc",
+    "sbc",
+    "dadc",
+}
+
+
+def expand(mnemonic, byte_mode, operands, filename=None, line=None):
+    """Expand an emulated mnemonic.
+
+    Returns ``(core_mnemonic, src_spec, dst_spec)`` or ``None`` if the
+    mnemonic is not emulated.
+    """
+    low = mnemonic.lower()
+    if low not in EMULATED:
+        return None
+    if byte_mode and low not in BYTE_CAPABLE:
+        raise AsmSyntaxError(f"{mnemonic} has no byte variant", filename, line)
+    core, builder = EMULATED[low]
+    src, dst = builder(operands, filename, line)
+    return core, src, dst

@@ -1,0 +1,207 @@
+"""Constant-expression evaluator for assembler operands and directives.
+
+Supports integer literals (decimal, ``0x``, ``0b``, ``0o``, ``'c'``
+chars), symbols, and the operators ``+ - * / % << >> & | ^ ~`` with the
+usual precedence and parentheses.  Division is floor division; all
+results are reduced to Python ints (callers mask to 16 bits where the
+encoding requires it).
+"""
+
+import re
+
+from repro.errors import AsmSyntaxError, SymbolError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<hex>0[xX][0-9a-fA-F]+)
+  | (?P<bin>0[bB][01]+)
+  | (?P<oct>0[oO][0-7]+)
+  | (?P<dec>\d+)
+  | (?P<char>'(?:\\.|[^'\\])')
+  | (?P<sym>[A-Za-z_.$][A-Za-z0-9_.$]*)
+  | (?P<op><<|>>|[+\-*/%&|^~()])
+  | (?P<ws>\s+)
+""",
+    re.VERBOSE,
+)
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+def tokenize(text, filename=None, line=None):
+    """Split an expression into tokens; whitespace is dropped."""
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise AsmSyntaxError(
+                f"bad character in expression: {text[pos]!r}", filename, line
+            )
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append((kind, match.group()))
+    return tokens
+
+
+def literal_value(token_text):
+    """Value of a single literal token."""
+    if token_text.startswith(("0x", "0X")):
+        return int(token_text, 16)
+    if token_text.startswith(("0b", "0B")):
+        return int(token_text, 2)
+    if token_text.startswith(("0o", "0O")):
+        return int(token_text, 8)
+    if token_text.startswith("'"):
+        inner = token_text[1:-1]
+        if inner.startswith("\\"):
+            code = _ESCAPES.get(inner[1])
+            if code is None:
+                raise AsmSyntaxError(f"unknown escape {inner!r}")
+            return code
+        return ord(inner)
+    return int(token_text, 10)
+
+
+def is_pure_literal(text):
+    """True when *text* is a single numeric literal, optionally negated.
+
+    The assembler uses this to decide whether an immediate can use the
+    constant generators: only syntactic literals qualify, so statement
+    sizes never depend on symbol values (which keeps pass-1 sizing
+    exact).
+    """
+    try:
+        tokens = tokenize(text)
+    except AsmSyntaxError:
+        return False
+    if len(tokens) == 1:
+        return tokens[0][0] in ("hex", "bin", "oct", "dec", "char")
+    if len(tokens) == 2 and tokens[0] == ("op", "-"):
+        return tokens[1][0] in ("hex", "bin", "oct", "dec", "char")
+    return False
+
+
+class _Parser:
+    """Recursive-descent evaluator (binds symbols at evaluation time)."""
+
+    _PRECEDENCE = [
+        ("|",),
+        ("^",),
+        ("&",),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def __init__(self, tokens, symbols, filename, line):
+        self.tokens = tokens
+        self.pos = 0
+        self.symbols = symbols
+        self.filename = filename
+        self.line = line
+
+    def parse(self):
+        value = self._binary(0)
+        if self.pos != len(self.tokens):
+            raise AsmSyntaxError(
+                f"trailing tokens in expression: {self.tokens[self.pos:]}",
+                self.filename,
+                self.line,
+            )
+        return value
+
+    def _binary(self, level):
+        if level == len(self._PRECEDENCE):
+            return self._unary()
+        ops = self._PRECEDENCE[level]
+        value = self._binary(level + 1)
+        while self._peek_op(ops):
+            op = self.tokens[self.pos][1]
+            self.pos += 1
+            rhs = self._binary(level + 1)
+            value = self._apply(op, value, rhs)
+        return value
+
+    def _unary(self):
+        if self._peek_op(("-",)):
+            self.pos += 1
+            return -self._unary()
+        if self._peek_op(("~",)):
+            self.pos += 1
+            return ~self._unary()
+        if self._peek_op(("+",)):
+            self.pos += 1
+            return self._unary()
+        return self._atom()
+
+    def _atom(self):
+        if self.pos >= len(self.tokens):
+            raise AsmSyntaxError("unexpected end of expression", self.filename, self.line)
+        kind, text = self.tokens[self.pos]
+        if kind == "op" and text == "(":
+            self.pos += 1
+            value = self._binary(0)
+            if not self._peek_op((")",)):
+                raise AsmSyntaxError("missing ')'", self.filename, self.line)
+            self.pos += 1
+            return value
+        self.pos += 1
+        if kind in ("hex", "bin", "oct", "dec", "char"):
+            return literal_value(text)
+        if kind == "sym":
+            if text not in self.symbols:
+                raise SymbolError(f"undefined symbol {text!r}", self.filename, self.line)
+            return self.symbols[text]
+        raise AsmSyntaxError(f"unexpected token {text!r}", self.filename, self.line)
+
+    def _peek_op(self, ops):
+        if self.pos >= len(self.tokens):
+            return False
+        kind, text = self.tokens[self.pos]
+        return kind == "op" and text in ops
+
+    @staticmethod
+    def _apply(op, a, b):
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            if b == 0:
+                raise AsmSyntaxError("division by zero in expression")
+            return a // b
+        if op == "%":
+            if b == 0:
+                raise AsmSyntaxError("modulo by zero in expression")
+            return a % b
+        if op == "<<":
+            return a << b
+        if op == ">>":
+            return a >> b
+        if op == "&":
+            return a & b
+        if op == "|":
+            return a | b
+        if op == "^":
+            return a ^ b
+        raise AsmSyntaxError(f"unknown operator {op!r}")
+
+
+def eval_expr(text, symbols=None, filename=None, line=None):
+    """Evaluate expression *text* against the *symbols* mapping."""
+    tokens = tokenize(text, filename, line)
+    if not tokens:
+        raise AsmSyntaxError("empty expression", filename, line)
+    if symbols is None:
+        symbols = {}
+    return _Parser(tokens, symbols, filename, line).parse()
+
+
+def referenced_symbols(text):
+    """Set of symbol names appearing in an expression (for diagnostics)."""
+    return {tok for kind, tok in tokenize(text) if kind == "sym"}

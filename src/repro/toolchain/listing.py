@@ -1,0 +1,222 @@
+"""Listing (.lst) generation and parsing.
+
+The listing is the contract between the toolchain and EILIDinst (paper
+Fig. 2): the instrumenter takes ``*.lst`` from the previous build to
+discover concrete instruction addresses -- in particular the address of
+the instruction *after* each call site, which becomes the protected
+return address.  The format follows objdump conventions:
+
+::
+
+    ; listing: light_sensor
+    ; section .text base=0xe000 size=0x00ac
+
+    0000e000 <__start>:
+        e000:	31 40 00 0a 	mov #0xa00, r1
+        e004:	b0 12 3e e0 	call #0xe03e	; <main>
+
+:class:`ListingIndex` parses the text back into an indexable form.
+"""
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import InstrumentationError
+from repro.toolchain.statements import DataStatement, InsnStatement, LabelStatement
+
+
+def render_listing(program):
+    """Render the listing text for a :class:`LinkedProgram`."""
+    lines = [f"; listing: {program.name}"]
+    for extent in program.sections:
+        lines.append(
+            f"; section {extent.name} base=0x{extent.base:04x} size=0x{extent.size:04x}"
+        )
+    lines.append("")
+
+    label_targets = {addr: [] for addr in set(program.symbols.values())}
+    for name, addr in program.symbols.items():
+        if addr in label_targets:
+            label_targets[addr].append(name)
+
+    current_unit = None
+    for rec in program.records:
+        if rec.unit != current_unit:
+            current_unit = rec.unit
+            lines.append(f"; unit: {current_unit}")
+        stmt = rec.stmt
+        if isinstance(stmt, LabelStatement):
+            lines.append(f"{rec.addr:08x} <{stmt.name}>:")
+            continue
+        if isinstance(stmt, InsnStatement):
+            text = _render_insn(rec)
+            note = _symbol_note(program, rec)
+            lines.append(_format_line(rec.addr, rec.data, text, note))
+            continue
+        if isinstance(stmt, DataStatement):
+            directive = stmt.text.strip()
+            offset = 0
+            while offset < len(rec.data) or (offset == 0 and not rec.data):
+                chunk = rec.data[offset : offset + 8]
+                text = directive if offset == 0 else ""
+                lines.append(_format_line(rec.addr + offset, chunk, text, None))
+                offset += 8
+                if not rec.data:
+                    break
+    lines.append("")
+    lines.append("; symbols:")
+    for name in sorted(program.symbols):
+        lines.append(f";   {name} = 0x{program.symbols[name]:04x}")
+    return "\n".join(lines) + "\n"
+
+
+def _render_insn(rec):
+    """Disassembly text; jumps are shown with their absolute target."""
+    from repro.isa.opcodes import Format
+
+    insn = rec.insn
+    if insn.opcode.format is Format.JUMP:
+        target = (rec.addr + 2 + 2 * insn.offset) & 0xFFFF
+        return f"{insn.mnemonic} 0x{target:04x}"
+    return insn.render()
+
+
+def _symbol_note(program, rec):
+    """Annotate operands whose immediate matches a known code symbol."""
+    from repro.isa.opcodes import Format
+    from repro.isa.operands import AddrMode
+
+    insn = rec.insn
+    if insn.opcode.format is Format.JUMP:
+        target = (rec.addr + 2 + 2 * insn.offset) & 0xFFFF
+        name = program.symbol_at(target)
+        return f"<{name}>" if name else None
+    for operand in (insn.src, insn.dst):
+        if operand is None or operand.value is None:
+            continue
+        if operand.mode not in (AddrMode.IMMEDIATE, AddrMode.SYMBOLIC, AddrMode.ABSOLUTE):
+            continue
+        name = program.symbol_at(operand.value)
+        if name is not None:
+            return f"<{name}>"
+    return None
+
+
+def _format_line(addr, data, text, note):
+    hex_bytes = " ".join(f"{b:02x}" for b in data)
+    line = f"    {addr:04x}:\t{hex_bytes:<12s}\t{text}"
+    if note:
+        line += f"\t; {note}"
+    return line.rstrip()
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_LABEL_LINE = re.compile(r"^([0-9a-f]{8}) <([^>]+)>:$")
+_CODE_LINE = re.compile(r"^\s+([0-9a-f]+):\t((?:[0-9a-f]{2} ?)*)\t?(.*)$")
+_SYMBOL_LINE = re.compile(r"^;\s+([\w.$]+) = 0x([0-9a-f]+)$")
+_UNIT_LINE = re.compile(r"^; unit: (.+)$")
+
+
+@dataclass
+class ListingEntry:
+    addr: int
+    size: int
+    text: str  # rendered instruction/directive text ('' for data tails)
+    note: Optional[str] = None  # symbol annotation, without the <>
+
+    @property
+    def mnemonic(self):
+        return self.text.split()[0] if self.text else ""
+
+
+@dataclass
+class ListingIndex:
+    """Parsed view of a listing, as used by EILIDinst."""
+
+    entries: List[ListingEntry] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    unit_ranges: Dict[str, List[list]] = field(default_factory=dict)
+
+    def in_unit(self, addr, unit_name):
+        """True if *addr* falls in any address range of *unit_name*."""
+        for start, end in self.unit_ranges.get(unit_name, ()):
+            if start is not None and start <= addr <= end:
+                return True
+        return False
+
+    @property
+    def by_addr(self):
+        if not hasattr(self, "_by_addr"):
+            self._by_addr = {e.addr: e for e in self.entries}
+        return self._by_addr
+
+    def next_address(self, addr):
+        """Address of the instruction following the one at *addr*.
+
+        This is exactly the paper's return-address computation: "if the
+        function call address is 0x100, its return address would be
+        0x102 or 0x104, depending on its instruction size".
+        """
+        entry = self.by_addr.get(addr)
+        if entry is None:
+            raise InstrumentationError(f"no listing entry at 0x{addr:04x}")
+        return addr + entry.size
+
+    def instructions(self, mnemonic=None):
+        for entry in self.entries:
+            if entry.size == 0 or not entry.text:
+                continue
+            if mnemonic is None or entry.mnemonic == mnemonic:
+                yield entry
+
+    def label_address(self, name):
+        if name in self.labels:
+            return self.labels[name]
+        if name in self.symbols:
+            return self.symbols[name]
+        raise InstrumentationError(f"label {name!r} not present in listing")
+
+
+def parse_listing(text):
+    """Parse listing *text* into a :class:`ListingIndex`."""
+    index = ListingIndex()
+    current_unit = None
+    for raw in text.splitlines():
+        match = _LABEL_LINE.match(raw)
+        if match:
+            index.labels[match.group(2)] = int(match.group(1), 16)
+            continue
+        match = _UNIT_LINE.match(raw)
+        if match:
+            current_unit = match.group(1)
+            index.unit_ranges.setdefault(current_unit, []).append([None, None])
+            continue
+        match = _SYMBOL_LINE.match(raw)
+        if match:
+            index.symbols[match.group(1)] = int(match.group(2), 16)
+            continue
+        match = _CODE_LINE.match(raw)
+        if match:
+            addr = int(match.group(1), 16)
+            data = match.group(2).strip()
+            size = len(data.split()) if data else 0
+            body = match.group(3).strip()
+            note = None
+            if ";" in body:
+                body, _, comment = body.partition(";")
+                body = body.strip()
+                comment = comment.strip()
+                if comment.startswith("<") and comment.endswith(">"):
+                    note = comment[1:-1]
+            index.entries.append(ListingEntry(addr, size, body, note))
+            if current_unit is not None:
+                span = index.unit_ranges[current_unit][-1]
+                if span[0] is None:
+                    span[0] = addr
+                span[1] = addr + max(size, 1) - 1
+    return index

@@ -1,0 +1,170 @@
+"""Syntactic operand model: parsed-but-unresolved operands.
+
+An :class:`OperandSpec` captures the *shape* of an operand (which fully
+determines its encoded size) while deferring symbol resolution to link
+time.  Shapes follow msp430 gas syntax:
+
+==============  =====================  =================
+syntax          spec kind              size (ext words)
+==============  =====================  =================
+``rN``          REG                    0
+``#expr``       IMM (CG if literal)    0 or 1
+``&expr``       ABS                    1
+``expr``        SYM                    1
+``expr(rN)``    IDX                    1
+``@rN``         IND                    0
+``@rN+``        AUTOINC                0
+==============  =====================  =================
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AsmSyntaxError
+from repro.isa.operands import CG_CONSTANTS, Operand
+from repro.isa.registers import parse_register
+from repro.toolchain.expr import eval_expr, is_pure_literal, literal_value, tokenize
+
+
+class SpecKind(enum.Enum):
+    REG = "reg"
+    IMM = "imm"
+    ABS = "abs"
+    SYM = "sym"
+    IDX = "idx"
+    IND = "ind"
+    AUTOINC = "autoinc"
+
+
+@dataclass(frozen=True)
+class OperandSpec:
+    kind: SpecKind
+    reg: Optional[int] = None
+    expr: Optional[str] = None
+
+    # ---- size -------------------------------------------------------------
+
+    @property
+    def ext_words(self):
+        if self.kind in (SpecKind.REG, SpecKind.IND, SpecKind.AUTOINC):
+            return 0
+        if self.kind is SpecKind.IMM and self._cg_literal() is not None:
+            return 0
+        return 1
+
+    def _cg_literal(self):
+        """Constant-generator value if this is a CG-eligible literal."""
+        if self.expr is None or not is_pure_literal(self.expr):
+            return None
+        value = eval_expr(self.expr) & 0xFFFF
+        return value if value in CG_CONSTANTS else None
+
+    # ---- resolution ---------------------------------------------------------
+
+    def resolve(self, symbols, filename=None, line=None):
+        """Produce the concrete :class:`repro.isa.Operand`."""
+        kind = self.kind
+        if kind is SpecKind.REG:
+            return Operand.register(self.reg)
+        if kind is SpecKind.IND:
+            return Operand.indirect(self.reg)
+        if kind is SpecKind.AUTOINC:
+            return Operand.autoinc(self.reg)
+        value = eval_expr(self.expr, symbols, filename, line)
+        if kind is SpecKind.IMM:
+            cg = self._cg_literal()
+            if cg is not None:
+                return Operand.constant(cg, *CG_CONSTANTS[cg])
+            return Operand.immediate(value)
+        if kind is SpecKind.ABS:
+            return Operand.absolute(value)
+        if kind is SpecKind.SYM:
+            return Operand.symbolic(value)
+        if kind is SpecKind.IDX:
+            return Operand.indexed(value, self.reg)
+        raise AsmSyntaxError(f"cannot resolve operand kind {kind}", filename, line)
+
+    def render(self):
+        """Round-trip the operand back to source text."""
+        from repro.isa.registers import register_name
+
+        kind = self.kind
+        if kind is SpecKind.REG:
+            return register_name(self.reg)
+        if kind is SpecKind.IMM:
+            return f"#{self.expr}"
+        if kind is SpecKind.ABS:
+            return f"&{self.expr}"
+        if kind is SpecKind.SYM:
+            return self.expr
+        if kind is SpecKind.IDX:
+            return f"{self.expr}({register_name(self.reg)})"
+        if kind is SpecKind.IND:
+            return f"@{register_name(self.reg)}"
+        return f"@{register_name(self.reg)}+"
+
+
+def parse_operand(text, filename=None, line=None):
+    """Parse one operand's source text into an :class:`OperandSpec`."""
+    text = text.strip()
+    if not text:
+        raise AsmSyntaxError("empty operand", filename, line)
+
+    if text.startswith("#"):
+        expr = text[1:].strip()
+        _require_expr(expr, filename, line)
+        return OperandSpec(SpecKind.IMM, expr=expr)
+
+    if text.startswith("&"):
+        expr = text[1:].strip()
+        _require_expr(expr, filename, line)
+        return OperandSpec(SpecKind.ABS, expr=expr)
+
+    if text.startswith("@"):
+        body = text[1:].strip()
+        autoinc = body.endswith("+")
+        if autoinc:
+            body = body[:-1].strip()
+        reg = parse_register(body)
+        if reg is None:
+            raise AsmSyntaxError(f"bad indirect operand {text!r}", filename, line)
+        return OperandSpec(SpecKind.AUTOINC if autoinc else SpecKind.IND, reg=reg)
+
+    reg = parse_register(text)
+    if reg is not None:
+        return OperandSpec(SpecKind.REG, reg=reg)
+
+    if text.endswith(")"):
+        open_paren = text.rfind("(")
+        if open_paren == -1:
+            raise AsmSyntaxError(f"unbalanced parentheses in {text!r}", filename, line)
+        reg = parse_register(text[open_paren + 1 : -1])
+        if reg is not None:
+            expr = text[:open_paren].strip()
+            if not expr:
+                raise AsmSyntaxError(f"missing index in {text!r}", filename, line)
+            _require_expr(expr, filename, line)
+            return OperandSpec(SpecKind.IDX, reg=reg, expr=expr)
+        # Not `expr(rN)`: fall through and treat as a symbolic expression.
+
+    _require_expr(text, filename, line)
+    return OperandSpec(SpecKind.SYM, expr=text)
+
+
+class _AnySymbols(dict):
+    """Validation symbol table: every name resolves (to a neutral 1)."""
+
+    def __contains__(self, key):
+        return True
+
+    def __getitem__(self, key):
+        return 1
+
+
+def _require_expr(expr, filename, line):
+    if not expr:
+        raise AsmSyntaxError("missing expression", filename, line)
+    # Full syntactic validation: evaluate against a permissive symbol
+    # table so malformed expressions fail at parse time, not link time.
+    eval_expr(expr, _AnySymbols(), filename, line)

@@ -1,0 +1,268 @@
+"""Line-oriented parser for the MSP430 assembly dialect.
+
+Comments start with ``;``.  Labels are ``name:`` (several may stack on
+one line, optionally followed by a statement).  Directives:
+
+``.section NAME`` (and shorthands ``.text``, ``.data``, ``.bss``,
+``.secure``), ``.global SYM[, ...]``, ``.equ NAME, EXPR``,
+``.word E[, ...]``, ``.byte E[, ...]``, ``.ascii "S"``, ``.asciz "S"``,
+``.space N``, ``.align N``, ``.vector N, SYM`` (interrupt vector table
+entry; the reset vector is ``.vector 15, __start``).
+"""
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.errors import AsmSyntaxError
+from repro.toolchain.expr import eval_expr, is_pure_literal
+from repro.toolchain.operand_spec import parse_operand
+from repro.toolchain.statements import DataStatement, InsnStatement, LabelStatement
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*:\s*")
+_MNEMONIC_RE = re.compile(r"^([A-Za-z][A-Za-z0-9]*)(\.[bwBW])?\s*")
+
+TEXT_SECTIONS = (".text", ".secure_text")
+KNOWN_SECTIONS = (".text", ".data", ".bss", ".secure_text")
+
+_SECTION_SHORTHAND = {
+    ".text": ".text",
+    ".data": ".data",
+    ".bss": ".bss",
+    ".secure": ".secure_text",
+}
+
+
+@dataclass
+class AsmUnit:
+    """One parsed translation unit."""
+
+    name: str
+    sections: Dict[str, list] = field(default_factory=dict)
+    globals_: Set[str] = field(default_factory=set)
+    equates: Dict[str, str] = field(default_factory=dict)
+    vectors: Dict[int, str] = field(default_factory=dict)
+
+    def section(self, name):
+        return self.sections.setdefault(name, [])
+
+    def statements(self, section):
+        return self.sections.get(section, [])
+
+    @property
+    def labels(self):
+        found = []
+        for stmts in self.sections.values():
+            found.extend(s.name for s in stmts if isinstance(s, LabelStatement))
+        return found
+
+
+def strip_comment(line):
+    """Remove a ``;`` comment, honouring string and char literals."""
+    in_string = None
+    for index, char in enumerate(line):
+        if in_string:
+            if char == "\\":
+                continue
+            if char == in_string:
+                in_string = None
+        elif char in "\"'":
+            in_string = char
+        elif char == ";":
+            return line[:index]
+    return line
+
+
+def split_operands(text):
+    """Split an operand list on top-level commas (strings kept intact)."""
+    parts = []
+    depth = 0
+    in_string = None
+    current = []
+    previous = ""
+    for char in text:
+        if in_string:
+            current.append(char)
+            if char == in_string and previous != "\\":
+                in_string = None
+        elif char in "\"'":
+            in_string = char
+            current.append(char)
+        elif char == "(":
+            depth += 1
+            current.append(char)
+        elif char == ")":
+            depth -= 1
+            current.append(char)
+        elif char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+        previous = char
+    tail = "".join(current).strip()
+    if tail or parts:
+        parts.append(tail)
+    return parts
+
+
+def _parse_string_literal(text, filename, line):
+    text = text.strip()
+    if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+        raise AsmSyntaxError(f"expected string literal, got {text!r}", filename, line)
+    body = text[1:-1]
+    out = []
+    index = 0
+    escapes = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", '"': '"'}
+    while index < len(body):
+        char = body[index]
+        if char == "\\":
+            index += 1
+            if index >= len(body) or body[index] not in escapes:
+                raise AsmSyntaxError("bad string escape", filename, line)
+            out.append(escapes[body[index]])
+        else:
+            out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def parse_source(text, filename="<input>"):
+    """Parse assembly *text* into an :class:`AsmUnit`."""
+    unit = AsmUnit(name=filename)
+    current_section = ".text"
+
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = strip_comment(raw_line).strip()
+        if not line:
+            continue
+
+        # Labels (possibly several) may prefix the statement.
+        while True:
+            match = _LABEL_RE.match(line)
+            if match is None:
+                break
+            unit.section(current_section).append(
+                LabelStatement(filename, lineno, raw_line.rstrip(), name=match.group(1))
+            )
+            line = line[match.end():]
+        if not line:
+            continue
+
+        if line.startswith("."):
+            current_section = _parse_directive(
+                unit, current_section, line, raw_line.rstrip(), filename, lineno
+            )
+            continue
+
+        unit.section(current_section).append(
+            _parse_instruction(line, raw_line.rstrip(), filename, lineno)
+        )
+
+    return unit
+
+
+def _parse_instruction(line, raw, filename, lineno):
+    match = _MNEMONIC_RE.match(line)
+    if match is None:
+        raise AsmSyntaxError(f"cannot parse statement {line!r}", filename, lineno)
+    mnemonic = match.group(1).lower()
+    suffix = (match.group(2) or "").lower()
+    byte_mode = suffix == ".b"
+    rest = line[match.end():].strip()
+    operands = [
+        parse_operand(op, filename, lineno) for op in split_operands(rest)
+    ] if rest else []
+    stmt = InsnStatement(
+        filename,
+        lineno,
+        raw,
+        mnemonic=mnemonic,
+        byte_mode=byte_mode,
+        operands=operands,
+    )
+    stmt.core_form()  # validate mnemonic/arity eagerly
+    return stmt
+
+
+def _parse_directive(unit, current_section, line, raw, filename, lineno):
+    parts = line.split(None, 1)
+    name = parts[0].lower()
+    rest = parts[1].strip() if len(parts) > 1 else ""
+
+    if name in _SECTION_SHORTHAND:
+        return _SECTION_SHORTHAND[name]
+
+    if name == ".section":
+        if rest not in KNOWN_SECTIONS:
+            raise AsmSyntaxError(f"unknown section {rest!r}", filename, lineno)
+        return rest
+
+    if name == ".global" or name == ".globl":
+        for sym in split_operands(rest):
+            unit.globals_.add(sym)
+        return current_section
+
+    if name == ".equ" or name == ".set":
+        args = split_operands(rest)
+        if len(args) != 2:
+            raise AsmSyntaxError(".equ takes NAME, EXPR", filename, lineno)
+        unit.equates[args[0]] = args[1]
+        return current_section
+
+    if name == ".vector":
+        args = split_operands(rest)
+        if len(args) != 2:
+            raise AsmSyntaxError(".vector takes INDEX, SYMBOL", filename, lineno)
+        if not is_pure_literal(args[0]):
+            raise AsmSyntaxError(".vector index must be a literal", filename, lineno)
+        index = eval_expr(args[0])
+        if index in unit.vectors:
+            raise AsmSyntaxError(f"vector {index} set twice", filename, lineno)
+        unit.vectors[index] = args[1]
+        return current_section
+
+    if name in (".word", ".byte"):
+        exprs = split_operands(rest)
+        if not exprs:
+            raise AsmSyntaxError(f"{name} needs at least one value", filename, lineno)
+        unit.section(current_section).append(
+            DataStatement(filename, lineno, raw, directive=name[1:], exprs=exprs)
+        )
+        return current_section
+
+    if name in (".ascii", ".asciz"):
+        unit.section(current_section).append(
+            DataStatement(
+                filename,
+                lineno,
+                raw,
+                directive=name[1:],
+                string=_parse_string_literal(rest, filename, lineno),
+            )
+        )
+        return current_section
+
+    if name == ".space" or name == ".skip":
+        if not is_pure_literal(rest):
+            raise AsmSyntaxError(".space size must be a literal", filename, lineno)
+        size = eval_expr(rest)
+        if size < 0:
+            raise AsmSyntaxError(".space size must be non-negative", filename, lineno)
+        unit.section(current_section).append(
+            DataStatement(filename, lineno, raw, directive="space", space=size)
+        )
+        return current_section
+
+    if name == ".align":
+        if not is_pure_literal(rest):
+            raise AsmSyntaxError(".align argument must be a literal", filename, lineno)
+        align = eval_expr(rest)
+        if align not in (1, 2):
+            raise AsmSyntaxError("only .align 1/2 supported on this 16-bit target", filename, lineno)
+        unit.section(current_section).append(
+            DataStatement(filename, lineno, raw, directive="align", align=align)
+        )
+        return current_section
+
+    raise AsmSyntaxError(f"unknown directive {name}", filename, lineno)

@@ -1,0 +1,102 @@
+"""Parsed statement model for assembly translation units."""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import AsmSyntaxError
+from repro.isa.opcodes import lookup, Format, JUMP_ALIASES
+from repro.toolchain.emulated import expand
+from repro.toolchain.operand_spec import OperandSpec
+
+
+@dataclass
+class Statement:
+    """Base: every statement remembers its origin for listings/errors."""
+
+    filename: str
+    line: int
+    text: str
+
+
+@dataclass
+class LabelStatement(Statement):
+    name: str = ""
+
+
+@dataclass
+class InsnStatement(Statement):
+    mnemonic: str = ""
+    byte_mode: bool = False
+    operands: List[OperandSpec] = field(default_factory=list)
+
+    def core_form(self):
+        """Resolve emulated mnemonics.
+
+        Returns ``(core_mnemonic, src_spec_or_None, dst_spec_or_None,
+        jump_target_or_None)``.
+        """
+        expansion = expand(
+            self.mnemonic, self.byte_mode, self.operands, self.filename, self.line
+        )
+        if expansion is not None:
+            core, src, dst = expansion
+            return core, src, dst, None
+
+        low = JUMP_ALIASES.get(self.mnemonic, self.mnemonic)
+        opcode = lookup(low)
+        if opcode is None:
+            raise AsmSyntaxError(f"unknown mnemonic {self.mnemonic!r}", self.filename, self.line)
+
+        if opcode.format is Format.JUMP:
+            if len(self.operands) != 1:
+                raise AsmSyntaxError(f"{low} takes one target", self.filename, self.line)
+            return low, None, None, self.operands[0]
+
+        if opcode.format is Format.SINGLE:
+            if low == "reti":
+                if self.operands:
+                    raise AsmSyntaxError("reti takes no operands", self.filename, self.line)
+                return low, None, None, None
+            if len(self.operands) != 1:
+                raise AsmSyntaxError(f"{low} takes one operand", self.filename, self.line)
+            return low, None, self.operands[0], None
+
+        if len(self.operands) != 2:
+            raise AsmSyntaxError(
+                f"{low} takes a source and a destination", self.filename, self.line
+            )
+        return low, self.operands[0], self.operands[1], None
+
+    def size_bytes(self):
+        """Encoded size; fully determined by operand syntax."""
+        core, src, dst, jump = self.core_form()
+        if jump is not None:
+            return 2
+        words = 1
+        if src is not None:
+            words += src.ext_words
+        if dst is not None:
+            words += dst.ext_words
+        return words * 2
+
+
+@dataclass
+class DataStatement(Statement):
+    directive: str = ""  # word | byte | ascii | asciz | space | align
+    exprs: List[str] = field(default_factory=list)
+    string: Optional[str] = None
+    space: Optional[int] = None
+    align: Optional[int] = None
+
+    def min_size_bytes(self):
+        if self.directive == "word":
+            return 2 * len(self.exprs)
+        if self.directive == "byte":
+            return len(self.exprs)
+        if self.directive in ("ascii", "asciz"):
+            return len(self.string) + (1 if self.directive == "asciz" else 0)
+        if self.directive == "space":
+            return self.space
+        if self.directive == "align":
+            return 0  # layout-dependent padding (0 or 1 byte for align 2)
+        raise AsmSyntaxError(f"unknown data directive {self.directive}", self.filename, self.line)

@@ -1,0 +1,63 @@
+"""Render a parsed (or transformed) :class:`AsmUnit` back to source text.
+
+EILIDinst transforms units at the statement level; this writer emits the
+instrumented ``*_instr.s`` text that goes back into the build (Fig. 2).
+Round-trip property: parsing the rendered text yields a unit that links
+to the identical image (tested in ``tests/test_writer.py``).
+"""
+
+from repro.toolchain.parser import AsmUnit, KNOWN_SECTIONS
+from repro.toolchain.statements import DataStatement, InsnStatement, LabelStatement
+
+
+def render_statement(stmt):
+    """Canonical source text of one statement (no label, no indent)."""
+    if isinstance(stmt, LabelStatement):
+        return f"{stmt.name}:"
+    if isinstance(stmt, InsnStatement):
+        name = stmt.mnemonic + (".b" if stmt.byte_mode else "")
+        if not stmt.operands:
+            return name
+        return f"{name} " + ", ".join(op.render() for op in stmt.operands)
+    if isinstance(stmt, DataStatement):
+        directive = stmt.directive
+        if directive in ("word", "byte"):
+            return f".{directive} " + ", ".join(stmt.exprs)
+        if directive in ("ascii", "asciz"):
+            escaped = (
+                stmt.string.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+                .replace("\t", "\\t")
+                .replace("\r", "\\r")
+                .replace("\0", "\\0")
+            )
+            return f'.{directive} "{escaped}"'
+        if directive == "space":
+            return f".space {stmt.space}"
+        if directive == "align":
+            return f".align {stmt.align}"
+    raise TypeError(f"cannot render statement {type(stmt).__name__}")
+
+
+def render_unit(unit: AsmUnit):
+    """Emit the full unit: globals, equates, sections, vectors."""
+    lines = [f"; unit: {unit.name}"]
+    for sym in sorted(unit.globals_):
+        lines.append(f"    .global {sym}")
+    for sym, expr in unit.equates.items():
+        lines.append(f"    .equ {sym}, {expr}")
+    for section in KNOWN_SECTIONS:
+        stmts = unit.statements(section)
+        if not stmts:
+            continue
+        lines.append(f"    .section {section}")
+        for stmt in stmts:
+            text = render_statement(stmt)
+            if isinstance(stmt, LabelStatement):
+                lines.append(text)
+            else:
+                lines.append("    " + text)
+    for index in sorted(unit.vectors):
+        lines.append(f"    .vector {index}, {unit.vectors[index]}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,55 @@
+"""Verification layer: model checking and trace oracles.
+
+CASU's monitor is formally verified in the original work; EILID
+inherits those guarantees ("we avoid introducing any new hardware
+overhead and preserve CASU's formally verified properties", Sec. IV).
+This package reproduces that claim at the model level:
+
+* :mod:`repro.verification.fsm` + :mod:`repro.verification.model_checker`
+  -- guarded-transition FSMs over boolean signal abstractions, checked
+  exhaustively (every reachable state x every input valuation) against
+  safety invariants and transition properties, with counterexample
+  extraction.
+* :mod:`repro.verification.properties` -- the abstract monitor models
+  and their LTL-style sub-properties (the VRASED/CASU property
+  decomposition), plus deliberately buggy mutants used to demonstrate
+  that the checker actually finds violations.
+* :mod:`repro.verification.oracles` -- runtime oracles that replay a
+  device execution and independently judge P1/P2 (every return/reti
+  lands where its call/interrupt said it would), used to cross-check
+  both the simulator and the EILID runtime.
+"""
+
+from repro.verification.fsm import Fsm, Transition
+from repro.verification.model_checker import (
+    CheckResult,
+    check_invariant,
+    check_transition_property,
+    reachable_states,
+)
+from repro.verification.properties import (
+    pmem_guard_fsm,
+    pmem_guard_fsm_buggy,
+    rom_atomicity_fsm,
+    w_xor_x_fsm,
+    secure_ram_fsm,
+    MONITOR_PROPERTIES,
+)
+from repro.verification.oracles import ControlFlowOracle, OracleDeviation
+
+__all__ = [
+    "Fsm",
+    "Transition",
+    "CheckResult",
+    "check_invariant",
+    "check_transition_property",
+    "reachable_states",
+    "pmem_guard_fsm",
+    "pmem_guard_fsm_buggy",
+    "rom_atomicity_fsm",
+    "w_xor_x_fsm",
+    "secure_ram_fsm",
+    "MONITOR_PROPERTIES",
+    "ControlFlowOracle",
+    "OracleDeviation",
+]

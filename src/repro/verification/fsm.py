@@ -1,0 +1,62 @@
+"""Guarded-transition FSMs over boolean input signals.
+
+A state machine is a set of named states, a tuple of boolean input
+signal names, and ordered guarded transitions.  On each step the first
+transition whose guard matches fires; if none matches the machine
+self-loops.  This is the abstraction level at which the VRASED/CASU
+line verifies its hardware monitors (each monitor is a small Mealy
+machine over bus signals).
+"""
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import VerificationError
+
+Inputs = Dict[str, bool]
+
+
+@dataclass(frozen=True)
+class Transition:
+    source: str
+    guard: Callable[[Inputs], bool]
+    target: str
+    label: str = ""
+
+
+@dataclass
+class Fsm:
+    name: str
+    states: Sequence[str]
+    inputs: Sequence[str]
+    initial: str
+    transitions: List[Transition] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.initial not in self.states:
+            raise VerificationError(f"{self.name}: initial state not in states")
+        for t in self.transitions:
+            if t.source not in self.states or t.target not in self.states:
+                raise VerificationError(f"{self.name}: bad transition {t.label}")
+
+    def step(self, state: str, inputs: Inputs) -> str:
+        for transition in self.transitions:
+            if transition.source == state and transition.guard(inputs):
+                return transition.target
+        return state
+
+    def input_space(self):
+        """All 2^n input valuations."""
+        names = list(self.inputs)
+        for values in product((False, True), repeat=len(names)):
+            yield dict(zip(names, values))
+
+    def run(self, input_trace: Sequence[Inputs]) -> List[str]:
+        """States visited on *input_trace* (including the initial one)."""
+        state = self.initial
+        states = [state]
+        for inputs in input_trace:
+            state = self.step(state, inputs)
+            states.append(state)
+        return states

@@ -1,0 +1,97 @@
+"""Runtime control-flow oracles.
+
+:class:`ControlFlowOracle` watches a device execution from the outside
+(it sees only :class:`StepRecord` streams) and independently judges the
+paper's properties:
+
+* **P1** -- every executed return transfers to the address the matching
+  call pushed;
+* **P2** -- every ``reti`` resumes at the interrupted PC.
+
+On a benign EILID run the oracle must observe zero deviations (the
+instrumentation is transparent); on an attacked baseline run the oracle
+records exactly the hijack the unprotected device misses.  Tests use it
+both ways, and as a cross-check that a device reset always happens *at
+or before* the step where the oracle sees the deviation.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cpu.core import StepKind
+from repro.isa.operands import AddrMode
+from repro.isa.registers import PC, SP
+
+
+@dataclass(frozen=True)
+class OracleDeviation:
+    kind: str  # "return" | "reti"
+    pc: int
+    expected: Optional[int]
+    actual: int
+
+    def __str__(self):
+        expected = f"0x{self.expected:04x}" if self.expected is not None else "<empty>"
+        return (
+            f"{self.kind} at 0x{self.pc:04x}: expected {expected}, "
+            f"got 0x{self.actual:04x}"
+        )
+
+
+def _is_return(insn):
+    """A `ret` after emulation: mov @sp+, pc."""
+    return (
+        insn is not None
+        and insn.mnemonic == "mov"
+        and insn.dst is not None
+        and insn.dst.mode is AddrMode.REGISTER
+        and insn.dst.reg == PC
+        and insn.src is not None
+        and insn.src.mode is AddrMode.AUTOINC
+        and insn.src.reg == SP
+    )
+
+
+@dataclass
+class ControlFlowOracle:
+    call_stack: List[int] = field(default_factory=list)
+    irq_stack: List[int] = field(default_factory=list)
+    deviations: List[OracleDeviation] = field(default_factory=list)
+    returns_checked: int = 0
+    retis_checked: int = 0
+
+    def observe(self, record, violation=None):
+        """Feed one step; suitable as a ``Device.run`` observer."""
+        if violation is not None:
+            # The device reset: abandoned frames will never return.
+            self.call_stack.clear()
+            self.irq_stack.clear()
+            return
+        if record.kind is StepKind.INTERRUPT:
+            self.irq_stack.append(record.pc)
+            return
+        if record.kind is not StepKind.INSTRUCTION:
+            return
+        insn = record.insn
+        if insn.mnemonic == "call":
+            self.call_stack.append(record.pc + insn.size_bytes)
+            return
+        if insn.mnemonic == "reti":
+            self.retis_checked += 1
+            expected = self.irq_stack.pop() if self.irq_stack else None
+            if expected != record.next_pc:
+                self.deviations.append(
+                    OracleDeviation("reti", record.pc, expected, record.next_pc)
+                )
+            return
+        if _is_return(insn):
+            self.returns_checked += 1
+            expected = self.call_stack.pop() if self.call_stack else None
+            if expected != record.next_pc:
+                self.deviations.append(
+                    OracleDeviation("return", record.pc, expected, record.next_pc)
+                )
+
+    @property
+    def clean(self):
+        return not self.deviations

@@ -1,0 +1,141 @@
+"""Table IV applications: correctness, equivalence, overhead bands.
+
+The reproduction target is the *shape* of Table IV (see EXPERIMENTS.md):
+every app runs to completion under EILID with zero violations and
+byte-identical observable output; run-time overhead stays within the
+paper's band (2-15%) averaging ~7%; binary growth stays within ~4-25%
+averaging ~11%; the per-app ordering of the extremes is preserved.
+"""
+
+import pytest
+
+from repro.apps.registry import APPS, TABLE_IV_ORDER
+from repro.eval.paper_data import PAPER_TABLE4
+
+
+def output_events(device):
+    events = []
+    for peripheral in device.peripherals.values():
+        events.extend(peripheral.events)
+    events.sort(key=lambda e: (e.cycle, e.port))
+    return [(e.port, e.value) for e in events if e.port != "harness.done"]
+
+
+@pytest.mark.parametrize("name", TABLE_IV_ORDER)
+class TestPerApp:
+    def test_original_completes(self, name, app_runs):
+        (_dev0, res0), _ = app_runs[name]
+        assert res0.done
+
+    def test_eilid_completes_without_violation(self, name, app_runs):
+        _, (_dev1, res1) = app_runs[name]
+        assert res1.done
+        assert not res1.violations
+
+    def test_same_done_value(self, name, app_runs):
+        (_d0, res0), (_d1, res1) = app_runs[name]
+        assert res0.done_value == res1.done_value
+
+    def test_observable_outputs_identical(self, name, app_runs):
+        (dev0, _), (dev1, _) = app_runs[name]
+        assert output_events(dev0) == output_events(dev1)
+
+    def test_instrumented_is_slower(self, name, app_runs):
+        (_d0, res0), (_d1, res1) = app_runs[name]
+        assert res1.cycles > res0.cycles
+
+    def test_runtime_overhead_band(self, name, app_runs):
+        (_d0, res0), (_d1, res1) = app_runs[name]
+        overhead = 100.0 * (res1.cycles - res0.cycles) / res0.cycles
+        assert 1.0 < overhead < 20.0, f"{name}: {overhead:.2f}%"
+
+    def test_size_overhead_band(self, name, app_builds):
+        original, eilid = app_builds[name]
+        overhead = 100.0 * (eilid.final.app_code_bytes - original.app_code_bytes) \
+            / original.app_code_bytes
+        assert 3.0 < overhead < 30.0, f"{name}: {overhead:.2f}%"
+
+    def test_binary_sizes_in_paper_scale(self, name, app_builds):
+        original, _ = app_builds[name]
+        # The paper's apps are 233-604 bytes; ours use a stack-machine
+        # codegen, so allow the same order of magnitude.
+        assert 150 <= original.app_code_bytes <= 900
+
+    def test_convergence_in_three_builds(self, name, app_builds):
+        _, eilid = app_builds[name]
+        assert eilid.build_count == 3 and eilid.converged
+
+
+class TestAggregates:
+    def test_average_runtime_overhead_near_paper(self, app_runs):
+        overheads = []
+        for name in TABLE_IV_ORDER:
+            (_d0, res0), (_d1, res1) = app_runs[name]
+            overheads.append(100.0 * (res1.cycles - res0.cycles) / res0.cycles)
+        average = sum(overheads) / len(overheads)
+        assert 5.0 < average < 10.0  # paper: 7.35%
+
+    def test_average_size_overhead_near_paper(self, app_builds):
+        overheads = []
+        for name in TABLE_IV_ORDER:
+            original, eilid = app_builds[name]
+            overheads.append(
+                100.0 * (eilid.final.app_code_bytes - original.app_code_bytes)
+                / original.app_code_bytes
+            )
+        average = sum(overheads) / len(overheads)
+        assert 7.0 < average < 16.0  # paper: 10.78%
+
+    def test_extremes_ordering_matches_paper(self, app_runs):
+        """Fire Sensor is the paper's worst runtime overhead, Lcd Sensor
+        the best; the reproduction preserves both extremes."""
+        overheads = {}
+        for name in TABLE_IV_ORDER:
+            (_d0, res0), (_d1, res1) = app_runs[name]
+            overheads[name] = (res1.cycles - res0.cycles) / res0.cycles
+        assert max(overheads, key=overheads.get) == "fire_sensor"
+        assert min(overheads, key=overheads.get) == "lcd_sensor"
+
+    def test_runtime_scale_matches_paper(self, app_runs):
+        """Original run-times land in the paper's 251-4930 us range."""
+        for name in TABLE_IV_ORDER:
+            (_d0, res0), _ = app_runs[name]
+            us = res0.cycles / 100.0
+            paper_us = PAPER_TABLE4[name].run_us_orig
+            assert 0.25 * paper_us <= us <= 4.0 * paper_us, f"{name}: {us:.0f}us"
+
+
+class TestAppBehaviour:
+    def test_light_sensor_led_toggles(self, app_runs):
+        (dev0, _), _ = app_runs["light_sensor"]
+        led_values = dev0.peripherals["gpio"].event_values("gpio.out")
+        assert 1 in led_values and 0 in led_values
+
+    def test_ultrasonic_reports_distances(self, app_runs):
+        (dev0, _), _ = app_runs["ultrasonic_ranger"]
+        reported = dev0.peripherals["uart"].tx_bytes
+        assert len(reported) == 60
+        assert len(set(reported)) > 1  # distances vary with the schedule
+
+    def test_fire_sensor_alarms(self, app_runs):
+        (dev0, res0), _ = app_runs["fire_sensor"]
+        assert res0.done_value > 0  # some alarms fired
+        assert dev0.peripherals["timer"].fire_count > 10  # ISR exercised
+
+    def test_syringe_pump_steps(self, app_runs):
+        (_d0, res0), _ = app_runs["syringe_pump"]
+        assert res0.done_value == 7 + 5 + 8 + 4 + 6 + 5 + 3 + 9
+
+    def test_temp_sensor_uart_stream(self, app_runs):
+        (dev0, _), _ = app_runs["temp_sensor"]
+        assert len(dev0.peripherals["uart"].tx_log) == 40
+
+    def test_charlieplexing_frames(self, app_runs):
+        (_d0, res0), _ = app_runs["charlieplexing"]
+        assert res0.done_value == 25
+
+    def test_lcd_sensor_display(self, app_runs):
+        (dev0, _), _ = app_runs["lcd_sensor"]
+        display = dev0.peripherals["lcd"].display_bytes
+        assert len(display) == 3 * 40  # three digits per frame
+        assert all(0x30 <= b <= 0x39 for b in display)

@@ -1,0 +1,354 @@
+"""CPU instruction semantics: flags, addressing, stack, interrupts."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu import Cpu, InterruptController
+from repro.isa.registers import FLAG_C, FLAG_GIE, FLAG_N, FLAG_V, FLAG_Z, SP, SR
+from repro.memory import Bus
+from repro.toolchain import link, parse_source
+
+WORD = st.integers(min_value=0, max_value=0xFFFF)
+
+
+def make_cpu(asm, data=(), start_regs=None):
+    """Assemble a snippet at PMEM start and return a stepped-in CPU."""
+    source = "    .text\n__start:\n" + asm + "\nend:\n    jmp end\n    .vector 15, __start\n"
+    program = link([parse_source(source, "snippet.s")], name="snippet")
+    bus = Bus(program.layout)
+    for addr, chunk in program.segments():
+        bus.load_bytes(addr, chunk)
+    for addr, value in data:
+        bus.poke_word(addr, value)
+    cpu = Cpu(bus, InterruptController())
+    cpu.reset()
+    for reg, value in (start_regs or {}).items():
+        cpu.set_reg(reg, value)
+    return cpu, program
+
+
+def run_steps(cpu, n):
+    for _ in range(n):
+        cpu.step()
+    return cpu
+
+
+class TestMovAndAddressing:
+    def test_mov_immediate(self):
+        cpu, _ = make_cpu("    mov #0x1234, r10")
+        run_steps(cpu, 1)
+        assert cpu.get_reg(10) == 0x1234
+
+    def test_mov_absolute_load_store(self):
+        cpu, _ = make_cpu(
+            "    mov &0x0200, r10\n    mov r10, &0x0202",
+            data=[(0x0200, 0xBEEF)],
+        )
+        run_steps(cpu, 2)
+        assert cpu.get_reg(10) == 0xBEEF
+        assert cpu.bus.peek_word(0x0202) == 0xBEEF
+
+    def test_indexed_addressing(self):
+        cpu, _ = make_cpu(
+            "    mov #0x0200, r10\n    mov 4(r10), r11",
+            data=[(0x0204, 0xCAFE)],
+        )
+        run_steps(cpu, 2)
+        assert cpu.get_reg(11) == 0xCAFE
+
+    def test_indirect_autoincrement_word(self):
+        cpu, _ = make_cpu(
+            "    mov #0x0200, r10\n    mov @r10+, r11\n    mov @r10+, r12",
+            data=[(0x0200, 0x1111), (0x0202, 0x2222)],
+        )
+        run_steps(cpu, 3)
+        assert cpu.get_reg(11) == 0x1111
+        assert cpu.get_reg(12) == 0x2222
+        assert cpu.get_reg(10) == 0x0204
+
+    def test_autoincrement_byte_steps_by_one(self):
+        cpu, _ = make_cpu(
+            "    mov #0x0200, r10\n    mov.b @r10+, r11\n    mov.b @r10+, r12",
+            data=[(0x0200, 0x3412)],
+        )
+        run_steps(cpu, 3)
+        assert cpu.get_reg(11) == 0x12
+        assert cpu.get_reg(12) == 0x34
+        assert cpu.get_reg(10) == 0x0202
+
+    def test_byte_write_to_register_clears_high_byte(self):
+        cpu, _ = make_cpu("    mov #0xffff, r10\n    mov.b #0x12, r10")
+        run_steps(cpu, 2)
+        assert cpu.get_reg(10) == 0x0012
+
+    def test_byte_write_to_memory_leaves_sibling(self):
+        cpu, _ = make_cpu(
+            "    mov #0x55, r10\n    mov.b r10, &0x0201",
+            data=[(0x0200, 0x1122)],
+        )
+        run_steps(cpu, 2)
+        assert cpu.bus.peek_word(0x0200) == 0x5522
+
+
+class TestArithmeticFlags:
+    def test_add_carry_and_zero(self):
+        cpu, _ = make_cpu("    mov #0xffff, r10\n    add #1, r10")
+        run_steps(cpu, 2)
+        assert cpu.get_reg(10) == 0
+        assert cpu.flag(FLAG_C) and cpu.flag(FLAG_Z)
+        assert not cpu.flag(FLAG_N) and not cpu.flag(FLAG_V)
+
+    def test_add_signed_overflow(self):
+        cpu, _ = make_cpu("    mov #0x7fff, r10\n    add #1, r10")
+        run_steps(cpu, 2)
+        assert cpu.get_reg(10) == 0x8000
+        assert cpu.flag(FLAG_V) and cpu.flag(FLAG_N)
+
+    def test_addc_uses_carry(self):
+        cpu, _ = make_cpu(
+            "    mov #0xffff, r10\n    add #1, r10\n    mov #5, r11\n    addc #0, r11"
+        )
+        run_steps(cpu, 4)
+        assert cpu.get_reg(11) == 6
+
+    def test_sub_borrow_clears_carry(self):
+        cpu, _ = make_cpu("    mov #3, r10\n    sub #5, r10")
+        run_steps(cpu, 2)
+        assert cpu.get_reg(10) == 0xFFFE
+        assert not cpu.flag(FLAG_C)
+        assert cpu.flag(FLAG_N)
+
+    def test_sub_no_borrow_sets_carry(self):
+        cpu, _ = make_cpu("    mov #5, r10\n    sub #3, r10")
+        run_steps(cpu, 2)
+        assert cpu.get_reg(10) == 2
+        assert cpu.flag(FLAG_C)
+
+    def test_cmp_does_not_write(self):
+        cpu, _ = make_cpu("    mov #7, r10\n    cmp #7, r10")
+        run_steps(cpu, 2)
+        assert cpu.get_reg(10) == 7
+        assert cpu.flag(FLAG_Z)
+
+    def test_dadd_bcd(self):
+        cpu, _ = make_cpu("    clrc\n    mov #0x0199, r10\n    dadd #0x0001, r10")
+        run_steps(cpu, 3)
+        assert cpu.get_reg(10) == 0x0200
+
+    def test_dadd_carry_chain(self):
+        cpu, _ = make_cpu("    clrc\n    mov #0x9999, r10\n    dadd #0x0001, r10")
+        run_steps(cpu, 3)
+        assert cpu.get_reg(10) == 0x0000
+        assert cpu.flag(FLAG_C)
+
+    def test_and_sets_carry_on_nonzero(self):
+        cpu, _ = make_cpu("    mov #0x0f0f, r10\n    and #0x00ff, r10")
+        run_steps(cpu, 2)
+        assert cpu.get_reg(10) == 0x000F
+        assert cpu.flag(FLAG_C) and not cpu.flag(FLAG_Z)
+
+    def test_bit_only_flags(self):
+        cpu, _ = make_cpu("    mov #0x0100, r10\n    bit #0x0100, r10")
+        run_steps(cpu, 2)
+        assert cpu.get_reg(10) == 0x0100
+        assert not cpu.flag(FLAG_Z)
+
+    def test_xor_overflow_when_both_negative(self):
+        cpu, _ = make_cpu("    mov #0x8001, r10\n    xor #0x8000, r10")
+        run_steps(cpu, 2)
+        assert cpu.get_reg(10) == 1
+        assert cpu.flag(FLAG_V)
+
+    def test_bic_bis_no_flags(self):
+        cpu, _ = make_cpu(
+            "    setc\n    setz\n    mov #0x00f0, r10\n    bic #0x0030, r10\n    bis #0x0003, r10"
+        )
+        run_steps(cpu, 5)
+        assert cpu.get_reg(10) == 0x00C3
+        assert cpu.flag(FLAG_C) and cpu.flag(FLAG_Z)  # untouched
+
+
+class TestShiftsAndSingleOps:
+    def test_rra_arithmetic(self):
+        cpu, _ = make_cpu("    mov #0x8004, r10\n    rra r10")
+        run_steps(cpu, 2)
+        assert cpu.get_reg(10) == 0xC002
+        assert not cpu.flag(FLAG_C)
+
+    def test_rra_carry_out(self):
+        cpu, _ = make_cpu("    mov #0x0003, r10\n    rra r10")
+        run_steps(cpu, 2)
+        assert cpu.get_reg(10) == 1 and cpu.flag(FLAG_C)
+
+    def test_rrc_rotates_carry_in(self):
+        cpu, _ = make_cpu("    setc\n    mov #0x0000, r10\n    rrc r10")
+        run_steps(cpu, 3)
+        assert cpu.get_reg(10) == 0x8000
+
+    def test_swpb(self):
+        cpu, _ = make_cpu("    mov #0x1234, r10\n    swpb r10")
+        run_steps(cpu, 2)
+        assert cpu.get_reg(10) == 0x3412
+
+    def test_sxt_sign_extends(self):
+        cpu, _ = make_cpu("    mov #0x0080, r10\n    sxt r10")
+        run_steps(cpu, 2)
+        assert cpu.get_reg(10) == 0xFF80
+        assert cpu.flag(FLAG_N)
+
+
+class TestStackAndCalls:
+    def test_push_pop(self):
+        cpu, _ = make_cpu(
+            "    mov #0x0a00, r1\n    mov #0x1234, r10\n    push r10\n    pop r11"
+        )
+        run_steps(cpu, 4)
+        assert cpu.get_reg(11) == 0x1234
+        assert cpu.sp == 0x0A00
+
+    def test_call_pushes_return_and_ret_pops(self):
+        cpu, prog = make_cpu(
+            "    mov #0x0a00, r1\n"
+            "    call #sub\n"
+            "    mov #1, r12\n"
+            "    jmp end\n"
+            "sub:\n"
+            "    mov #2, r13\n"
+            "    ret"
+        )
+        run_steps(cpu, 6)
+        assert cpu.get_reg(13) == 2
+        assert cpu.get_reg(12) == 1
+        assert cpu.sp == 0x0A00
+
+    def test_call_register_indirect(self):
+        cpu, prog = make_cpu(
+            "    mov #0x0a00, r1\n"
+            "    mov #sub, r12\n"
+            "    call r12\n"
+            "    jmp end\n"
+            "sub:\n"
+            "    mov #9, r13\n"
+            "    ret"
+        )
+        run_steps(cpu, 6)
+        assert cpu.get_reg(13) == 9
+
+
+class TestJumps:
+    @pytest.mark.parametrize("asm,expected", [
+        ("    mov #1, r10\n    tst r10\n    jz miss\n    mov #7, r11\nmiss:", 7),
+        ("    mov #0, r10\n    tst r10\n    jnz miss\n    mov #7, r11\nmiss:", 7),
+        ("    mov #5, r10\n    cmp #5, r10\n    jz hit\n    jmp end\nhit:\n    mov #7, r11", 7),
+    ])
+    def test_conditional_jumps(self, asm, expected):
+        cpu, _ = make_cpu(asm)
+        run_steps(cpu, 6)
+        assert cpu.get_reg(11) == expected
+
+    def test_jge_jl_signed(self):
+        cpu, _ = make_cpu(
+            "    mov #0xfffe, r10\n"  # -2
+            "    cmp #1, r10\n"  # -2 - 1 < 0
+            "    jl neg\n"
+            "    jmp end\n"
+            "neg:\n"
+            "    mov #1, r11"
+        )
+        run_steps(cpu, 5)
+        assert cpu.get_reg(11) == 1
+
+
+class TestInterrupts:
+    def _irq_cpu(self):
+        source = (
+            "    .text\n"
+            "__start:\n"
+            "    mov #0x0a00, r1\n"
+            "    eint\n"
+            "spin:\n"
+            "    jmp spin\n"
+            "__isr_t:\n"
+            "    mov #0x55, r10\n"
+            "    reti\n"
+            "    .vector 9, __isr_t\n"
+            "    .vector 15, __start\n"
+        )
+        program = link([parse_source(source, "irq.s")], name="irq")
+        bus = Bus(program.layout)
+        for addr, chunk in program.segments():
+            bus.load_bytes(addr, chunk)
+        cpu = Cpu(bus, InterruptController())
+        cpu.reset()
+        return cpu
+
+    def test_interrupt_entry_pushes_pc_sr_and_clears_sr(self):
+        cpu = self._irq_cpu()
+        run_steps(cpu, 3)  # init + spin a bit
+        assert cpu.gie
+        spin_pc = cpu.pc
+        cpu.ic.request(9)
+        record = cpu.step()
+        assert record.kind.value == "interrupt"
+        assert cpu.bus.peek_word(cpu.sp) != 0 or True  # SR may be anything
+        assert cpu.bus.peek_word(cpu.sp + 2) == spin_pc
+        assert not cpu.gie  # SR cleared on entry
+
+    def test_reti_restores_context(self):
+        cpu = self._irq_cpu()
+        run_steps(cpu, 3)
+        spin_pc = cpu.pc
+        sr_before = cpu.sr
+        cpu.ic.request(9)
+        run_steps(cpu, 3)  # irq entry + isr body + reti
+        assert cpu.get_reg(10) == 0x55
+        assert cpu.pc == spin_pc
+        assert cpu.sr == sr_before
+
+    def test_interrupt_blocked_without_gie(self):
+        cpu = self._irq_cpu()
+        cpu.step()  # only the SP init; GIE still clear
+        cpu.ic.request(9)
+        record = cpu.step()
+        assert record.kind.value == "instruction"
+
+    def test_irq_deferred_predicate(self):
+        cpu = self._irq_cpu()
+        run_steps(cpu, 3)
+        cpu.irq_deferred_at = lambda pc: True
+        cpu.ic.request(9)
+        record = cpu.step()
+        assert record.kind.value == "instruction"  # deferred, not taken
+
+
+# ---- differential property tests against a Python reference -----------------
+
+@given(a=WORD, b=WORD)
+def test_add_flags_match_reference(a, b):
+    cpu, _ = make_cpu(f"    mov #{a}, r10\n    add #{b}, r10")
+    run_steps(cpu, 2)
+    total = a + b
+    assert cpu.get_reg(10) == total & 0xFFFF
+    assert cpu.flag(FLAG_C) == (total > 0xFFFF)
+    assert cpu.flag(FLAG_Z) == (total & 0xFFFF == 0)
+    assert cpu.flag(FLAG_N) == bool(total & 0x8000)
+    sa, sb, sr = a >= 0x8000, b >= 0x8000, bool(total & 0x8000)
+    assert cpu.flag(FLAG_V) == (sa == sb and sa != sr)
+
+
+@given(a=WORD, b=WORD)
+def test_sub_result_matches_reference(a, b):
+    cpu, _ = make_cpu(f"    mov #{a}, r10\n    sub #{b}, r10")
+    run_steps(cpu, 2)
+    assert cpu.get_reg(10) == (a - b) & 0xFFFF
+    assert cpu.flag(FLAG_C) == (a >= b)  # C = no borrow
+
+
+@given(a=WORD, b=WORD, op=st.sampled_from(["and", "xor", "bis", "bic"]))
+def test_logic_results_match_reference(a, b, op):
+    cpu, _ = make_cpu(f"    mov #{a}, r10\n    {op} #{b}, r10")
+    run_steps(cpu, 2)
+    expected = {
+        "and": a & b, "xor": a ^ b, "bis": a | b, "bic": a & ~b & 0xFFFF
+    }[op]
+    assert cpu.get_reg(10) == expected

@@ -1,0 +1,185 @@
+"""Evaluation harness: table generators, figure data, micro-bench, CLI."""
+
+import pytest
+
+from repro.eval import (
+    generate_table1,
+    generate_table2,
+    generate_table3,
+    generate_figure10,
+    measure_micro,
+    render_figure10,
+    render_micro,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.eval.paper_data import (
+    PAPER_AVG_RUN_OVERHEAD_PCT,
+    PAPER_TABLE4,
+)
+from repro.eval.table1 import eilid_row_from_implementation
+
+
+class TestTable1:
+    def test_ten_techniques(self):
+        rows = generate_table1()
+        assert len(rows) == 10
+        assert rows[-1].work == "EILID"
+
+    def test_eilid_is_the_only_realtime_low_end_full_cfi(self):
+        rows = generate_table1()
+        full = [
+            r for r in rows
+            if r.realtime and r.forward_edge and r.backward_edge and r.interrupt
+            and "MSP430" in r.platform
+        ]
+        assert [r.work for r in full] == ["EILID"]
+
+    def test_eilid_row_derived_from_implementation_matches_paper(self):
+        derived = eilid_row_from_implementation()
+        paper = [r for r in generate_table1() if r.work == "EILID"][0]
+        assert derived == paper
+
+    def test_render_contains_all_works(self):
+        text = render_table1()
+        for row in generate_table1():
+            assert row.work in text
+
+
+class TestTable2:
+    def test_three_platforms(self):
+        rows = generate_table2()
+        assert [r["platform"] for r in rows] == [
+            "TI MSP430", "AVR ATMega32", "Microchip PIC16"
+        ]
+
+    def test_msp430_row_matches_isa_model(self):
+        """The MSP430 column must agree with the simulator's opcodes."""
+        from repro.isa.opcodes import lookup
+
+        row = generate_table2()[0]
+        assert row["call"] == "CALL" and lookup("call") is not None
+        assert row["return"] == "RET"
+        assert row["return_from_interrupt"] == "RETI" and lookup("reti") is not None
+
+    def test_render(self):
+        assert "RETFIE" in render_table2()
+
+
+class TestTable3:
+    def test_reserved_registers(self):
+        rows = generate_table3()
+        assert [r["registers"] for r in rows] == ["r4", "r5", "r6, r7"]
+
+    def test_render(self):
+        assert "shadow stack" in render_table3()
+
+
+class TestFigure10:
+    def test_eilid_point_matches_paper_exactly(self):
+        data = generate_figure10()
+        index = data.names.index("EILID")
+        assert data.luts[index] == 99
+        assert data.registers[index] == 34
+        assert round(data.eilid_lut_pct, 1) == 5.3
+        assert round(data.eilid_register_pct, 1) == 4.9
+
+    def test_eilid_is_cheapest_on_its_platform(self):
+        data = generate_figure10()
+        eilid = data.names.index("EILID")
+        for index, name in enumerate(data.names):
+            if index != eilid:
+                assert data.luts[index] > data.luts[eilid]
+                assert data.registers[index] > data.registers[eilid]
+
+    def test_tiny_cfa_and_acfa_exact(self):
+        data = generate_figure10()
+        assert data.luts[data.names.index("Tiny-CFA")] == 302
+        assert data.registers[data.names.index("ACFA")] == 946
+
+    def test_structural_breakdown_sums(self):
+        data = generate_figure10()
+        total_luts = sum(l for l, _ in data.model.breakdown().values())
+        total_regs = sum(r for _, r in data.model.breakdown().values())
+        assert total_luts == data.model.extension_luts == 99
+        assert total_regs == data.model.extension_registers == 34
+
+    def test_render(self):
+        text = render_figure10()
+        assert "Figure 10(a)" in text and "Figure 10(b)" in text
+        assert "216KB" in text  # the LO-FAT RAM footnote
+
+
+class TestMicro:
+    @pytest.fixture(scope="class")
+    def micro(self):
+        return measure_micro()
+
+    def test_check_costs_more_than_store(self, micro):
+        """The paper's shape: checking (compare + branch) beats storing."""
+        assert micro.check_cycles > micro.store_cycles
+        assert micro.check_instructions > micro.store_instructions
+
+    def test_ratio_matches_paper(self, micro):
+        # paper: 13.4/11.8 = 1.14x; accept a generous band.
+        assert 1.0 < micro.check_to_store_ratio < 1.5
+
+    def test_costs_are_tens_of_cycles(self, micro):
+        assert 15 <= micro.store_cycles <= 120
+        assert 15 <= micro.check_cycles <= 120
+
+    def test_render(self, micro):
+        text = render_micro(micro)
+        assert "per call" in text and "check/store" in text
+
+
+class TestPaperData:
+    def test_table4_overheads_consistent(self):
+        for name, row in PAPER_TABLE4.items():
+            assert row.run_overhead_pct > 0
+            assert row.size_overhead_pct > 0
+            assert row.compile_overhead_pct > 0
+
+    def test_paper_average_runtime(self):
+        rows = PAPER_TABLE4.values()
+        average = sum(r.run_overhead_pct for r in rows) / len(PAPER_TABLE4)
+        assert abs(average - PAPER_AVG_RUN_OVERHEAD_PCT) < 0.3
+
+
+class TestCli:
+    def test_tables_static(self, capsys):
+        from repro.cli import main
+
+        assert main(["tables", "--table", "1"]) == 0
+        assert "EILID" in capsys.readouterr().out
+
+    def test_figure10(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure10"]) == 0
+        assert "Figure 10(a)" in capsys.readouterr().out
+
+    def test_verify(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify"]) == 0
+        assert "HOLDS" in capsys.readouterr().out
+
+    def test_run_app(self, capsys):
+        from repro.cli import main
+
+        assert main(["run-app", "light_sensor", "--variant", "eilid"]) == 0
+        out = capsys.readouterr().out
+        assert "done=True" in out and "violations=0" in out
+
+    def test_attack(self, capsys):
+        from repro.cli import main
+
+        assert main(["attack", "return_address_smash", "--security", "eilid"]) == 0
+        assert "reset" in capsys.readouterr().out
+
+    def test_unknown_attack(self, capsys):
+        from repro.cli import main
+
+        assert main(["attack", "nonsense"]) == 1

@@ -1,0 +1,310 @@
+"""EILIDinst: golden per-figure rewrites (Figs. 3-8) plus pass logic."""
+
+import pytest
+
+from repro.eilid.instrumenter import Instrumenter
+from repro.eilid.iterbuild import IterativeBuild
+from repro.eilid.policy import EilidPolicy
+from repro.errors import ConvergenceError, InstrumentationError
+from repro.toolchain import parse_source
+from repro.toolchain.statements import InsnStatement, LabelStatement
+from repro.toolchain.writer import render_statement
+
+CRT = """
+    .text
+__start:
+    mov #0x0a00, r1
+    call #NS_EILID_init
+    mov #__main_ret, r6
+    call #NS_EILID_store_ra
+    call #main
+__main_ret:
+    mov #1, &0x0070
+__halt:
+    jmp __halt
+__default_handler:
+    reti
+    .vector 15, __start
+"""
+
+
+def build_and_instrument(app_source, policy=None, app_name="app.s"):
+    """Run the full Fig. 2 pipeline; returns (final_source, report)."""
+    builder = IterativeBuild(policy=policy)
+    result = builder.build_eilid(app_source, app_name, verify_convergence=True)
+    return result.final_source, result.report
+
+
+def text_statements(source, name="app.s"):
+    unit = parse_source(source, name)
+    return unit.statements(".text")
+
+
+def rendered(source):
+    return [render_statement(s) for s in text_statements(source)]
+
+
+SIMPLE_APP = """
+    .text
+    .global main
+    .global foo
+main:
+    call #foo
+    mov #1, &0x0070
+loop:
+    jmp loop
+foo:
+    mov #5, r10
+    ret
+"""
+
+
+class TestFigureRewrites:
+    def test_fig3_store_before_call(self):
+        out, report = build_and_instrument(SIMPLE_APP)
+        lines = rendered(out)
+        call_index = lines.index("call #foo")
+        assert lines[call_index - 1] == "call #NS_EILID_store_ra"
+        # Fig. 3: the mov loads the *numeric* address of the next insn.
+        assert lines[call_index - 2].startswith("mov #0x")
+        assert lines[call_index - 2].endswith(", r6")
+        assert report.direct_calls == 1
+
+    def test_fig3_return_address_is_correct(self):
+        out, _ = build_and_instrument(SIMPLE_APP)
+        builder = IterativeBuild()
+        final = builder.build_eilid(SIMPLE_APP, "app.s").final
+        from repro.toolchain.listing import parse_listing
+
+        listing = parse_listing(final.listing)
+        calls = [e for e in listing.instructions("call")
+                 if e.note == "foo" and listing.in_unit(e.addr, "app.s")]
+        assert len(calls) == 1
+        expected_ra = listing.next_address(calls[0].addr)
+        # The embedded immediate must equal the actual next address.
+        lines = rendered(out)
+        call_index = lines.index("call #foo")
+        assert lines[call_index - 2] == f"mov #0x{expected_ra:04x}, r6"
+
+    def test_fig4_check_before_ret(self):
+        out, report = build_and_instrument(SIMPLE_APP)
+        lines = rendered(out)
+        ret_index = lines.index("mov @r1+, r0") if "mov @r1+, r0" in lines else lines.index("ret")
+        assert lines[ret_index - 1] == "call #NS_EILID_check_ra"
+        assert lines[ret_index - 2] == "mov 0(r1), r6"
+        assert report.returns == 1
+
+    ISR_APP = """
+    .text
+    .global main
+main:
+    mov #1, &0x0070
+loop:
+    jmp loop
+__isr_tick:
+    mov #1, r10
+    reti
+    .vector 9, __isr_tick
+"""
+
+    def test_fig5_isr_prologue(self):
+        out, report = build_and_instrument(self.ISR_APP)
+        lines = rendered(out)
+        isr_index = lines.index("__isr_tick:")
+        assert lines[isr_index + 1 : isr_index + 7] == [
+            "push r4",
+            "push r6",
+            "push r7",
+            "mov 8(r1), r6",
+            "mov 6(r1), r7",
+            "call #NS_EILID_store_rfi",
+        ]
+        assert report.isr_prologues == 1
+
+    def test_fig6_isr_epilogue(self):
+        out, report = build_and_instrument(self.ISR_APP)
+        lines = rendered(out)
+        reti_index = lines.index("reti")
+        assert lines[reti_index - 6 : reti_index] == [
+            "mov 8(r1), r6",
+            "mov 6(r1), r7",
+            "call #NS_EILID_check_rfi",
+            "pop r7",
+            "pop r6",
+            "pop r4",
+        ]
+        assert report.isr_epilogues == 1
+
+    INDIRECT_APP = """
+    .text
+    .global main
+    .global foo
+main:
+    mov #foo, r12
+    call r12
+    mov #1, &0x0070
+loop:
+    jmp loop
+foo:
+    mov #5, r10
+    ret
+"""
+
+    def test_fig7_function_table_at_main(self):
+        out, report = build_and_instrument(self.INDIRECT_APP)
+        lines = rendered(out)
+        main_index = lines.index("main:")
+        # Each function address registered via NS_EILID_store_ind.
+        regs = [l for l in lines[main_index + 1 : main_index + 1 + 2 * len(report.functions)]
+                if l == "call #NS_EILID_store_ind"]
+        assert len(regs) == report.table_registrations
+        assert report.table_registrations == len(report.functions) >= 2
+
+    def test_fig8_check_before_indirect_call(self):
+        out, report = build_and_instrument(self.INDIRECT_APP)
+        lines = rendered(out)
+        call_index = lines.index("call r12")
+        # check_ind first (Fig. 8), then the P1 store for the return.
+        assert lines[call_index - 4] == "mov r12, r6"
+        assert lines[call_index - 3] == "call #NS_EILID_check_ind"
+        assert lines[call_index - 1] == "call #NS_EILID_store_ra"
+        assert report.indirect_calls == 1
+
+    def test_no_indirect_calls_no_table(self):
+        _, report = build_and_instrument(SIMPLE_APP)
+        assert report.table_registrations == 0
+
+
+class TestPassLogic:
+    def test_reinstrumentation_guard(self):
+        instrumenter = Instrumenter(EilidPolicy(), "app.s")
+        already = SIMPLE_APP.replace("call #foo", "call #NS_EILID_store_ra\n    call #foo")
+        with pytest.raises(InstrumentationError):
+            instrumenter.instrument(already, "")
+
+    def test_listing_mismatch_detected(self):
+        builder = IterativeBuild()
+        other = builder.build_original(
+            "    .text\nmain:\n    mov #1, &0x0070\nl:\n    jmp l\n", "other.s"
+        )
+        instrumenter = Instrumenter(EilidPolicy(), "app.s")
+        with pytest.raises(InstrumentationError):
+            instrumenter.instrument(SIMPLE_APP, other.listing)
+
+    def test_indirect_jump_rejected(self):
+        app = SIMPLE_APP.replace("mov #5, r10", "br r10")
+        with pytest.raises(InstrumentationError):
+            build_and_instrument(app)
+
+    def test_indirect_jump_warning_when_permissive(self):
+        policy = EilidPolicy(fail_on_indirect_jumps=False)
+        app = SIMPLE_APP.replace("mov #5, r10", "br r10")
+        _, report = build_and_instrument(app, policy=policy)
+        assert any("indirect jump" in w for w in report.warnings)
+
+    def test_policy_backward_only_skips_indirect(self):
+        policy = EilidPolicy.backward_only()
+        out, report = build_and_instrument(TestFigureRewrites.INDIRECT_APP, policy)
+        lines = rendered(out)
+        assert "call #NS_EILID_check_ind" not in lines
+        assert "call #NS_EILID_store_ra" in lines
+
+    def test_function_discovery(self):
+        app = """
+    .text
+    .global main
+main:
+    call #helper
+    mov #taken, r12
+    mov #1, &0x0070
+l:
+    jmp l
+helper:
+    ret
+taken:
+    ret
+__isr_x:
+    reti
+    .vector 9, __isr_x
+"""
+        _, report = build_and_instrument(app)
+        names = [name for name, _addr in report.functions]
+        assert "main" in names and "helper" in names and "taken" in names
+        assert "__isr_x" not in names and "l" not in names
+
+    def test_reserved_register_repair_wraps_run(self):
+        app = """
+    .text
+    .global main
+main:
+    mov #3, r4
+    add #1, r4
+    mov r4, &0x0200
+    mov #1, &0x0070
+l:
+    jmp l
+"""
+        out, report = build_and_instrument(app)
+        lines = rendered(out)
+        first = lines.index("mov #3, r4")
+        assert lines[first - 1] == "push r4"
+        assert lines[first - 2] == "dint"
+        assert lines[first - 3] == "push r2"
+        after = lines.index("mov r4, &0x0200")
+        assert lines[after + 1] == "pop r4"
+        assert lines[after + 2] == "pop r2"
+        assert report.repaired_runs == 1
+
+    def test_repair_preserves_semantics_and_eilid_state(self):
+        app = """
+    .text
+    .global main
+main:
+    call #uses_r5
+    mov &0x0202, r10
+    mov r10, &0x0070
+l:
+    jmp l
+uses_r5:
+    mov #40, r5
+    add #2, r5
+    mov r5, &0x0202
+    ret
+"""
+        from repro.device import build_device
+
+        builder = IterativeBuild()
+        result = builder.build_eilid(app, "app.s", verify_convergence=True)
+        device = build_device(result.final.program, security="eilid")
+        run = device.run(max_cycles=100_000)
+        assert run.done and not run.violations
+        assert run.done_value == 42  # app semantics preserved
+
+    def test_reserved_register_in_call_rejected(self):
+        app = SIMPLE_APP.replace("call #foo", "call r4")
+        with pytest.raises(InstrumentationError):
+            build_and_instrument(app)
+
+
+class TestSymbolicAblation:
+    def test_single_build_equivalence(self):
+        from repro.device import build_device
+
+        policy = EilidPolicy(use_symbolic_return_labels=True)
+        builder = IterativeBuild(policy=policy)
+        sym = builder.build_eilid_symbolic(TestFigureRewrites.INDIRECT_APP, "app.s")
+        assert sym.build_count == 1
+
+        paper = IterativeBuild().build_eilid(
+            TestFigureRewrites.INDIRECT_APP, "app.s", verify_convergence=True
+        )
+        d1 = build_device(sym.final.program, security="eilid")
+        d2 = build_device(paper.final.program, security="eilid")
+        r1 = d1.run(max_cycles=100_000)
+        r2 = d2.run(max_cycles=100_000)
+        assert r1.done and r2.done
+        assert r1.cycles == r2.cycles  # byte-different, cycle-identical
+
+    def test_symbolic_requires_policy(self):
+        with pytest.raises(ConvergenceError):
+            IterativeBuild().build_eilid_symbolic(SIMPLE_APP, "app.s")

@@ -1,0 +1,195 @@
+"""Encoder/decoder unit tests + round-trip properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodingError, EncodingError
+from repro.isa import decode, encode, Instruction
+from repro.isa.decode import decode_words
+from repro.isa.opcodes import (
+    FORMAT1_OPCODES,
+    FORMAT2_OPCODES,
+    JUMP_OPCODES,
+    lookup,
+)
+from repro.isa.operands import AddrMode, Operand
+
+
+def roundtrip(insn):
+    words = encode(insn)
+    decoded, consumed = decode_words(words)
+    assert consumed == len(words)
+    return decoded
+
+
+class TestFormat1Encoding:
+    def test_mov_register_register(self):
+        insn = Instruction(FORMAT1_OPCODES["mov"], src=Operand.register(10),
+                          dst=Operand.register(11))
+        assert encode(insn) == [0x4A0B << 0 | 0]  # 0x4A0B
+        assert encode(insn)[0] == 0x4A0B
+
+    def test_add_immediate_uses_extension_word(self):
+        insn = Instruction(FORMAT1_OPCODES["add"], src=Operand.immediate(0x1234),
+                          dst=Operand.register(5))
+        words = encode(insn)
+        assert len(words) == 2
+        assert words[1] == 0x1234
+
+    @pytest.mark.parametrize("value,expected_len", [
+        (0, 1), (1, 1), (2, 1), (4, 1), (8, 1), (0xFFFF, 1),
+        (3, 2), (5, 2), (0x100, 2),
+    ])
+    def test_constant_generator_immediates(self, value, expected_len):
+        insn = Instruction(FORMAT1_OPCODES["mov"], src=Operand.immediate(value),
+                          dst=Operand.register(6))
+        assert len(encode(insn)) == expected_len
+
+    def test_absolute_destination(self):
+        insn = Instruction(FORMAT1_OPCODES["mov"], src=Operand.register(15),
+                          dst=Operand.absolute(0x0200))
+        words = encode(insn)
+        assert len(words) == 2
+        assert words[1] == 0x0200
+
+    def test_indexed_both_sides_two_extension_words(self):
+        insn = Instruction(FORMAT1_OPCODES["mov"], src=Operand.indexed(4, 10),
+                          dst=Operand.indexed(6, 11))
+        words = encode(insn)
+        assert len(words) == 3
+        assert words[1] == 4 and words[2] == 6
+
+    def test_byte_mode_bit(self):
+        word = Instruction(FORMAT1_OPCODES["mov"], src=Operand.register(4),
+                           dst=Operand.register(5), byte_mode=True)
+        assert encode(word)[0] & 0x0040
+
+    @pytest.mark.parametrize("name", sorted(FORMAT1_OPCODES))
+    def test_roundtrip_every_format1_opcode(self, name):
+        insn = Instruction(FORMAT1_OPCODES[name], src=Operand.indexed(2, 9),
+                          dst=Operand.register(12))
+        back = roundtrip(insn)
+        assert back.mnemonic == name
+        assert back.src == insn.src and back.dst == insn.dst
+
+
+class TestFormat2Encoding:
+    @pytest.mark.parametrize("name", ["rrc", "swpb", "rra", "sxt", "push", "call"])
+    def test_roundtrip_register_operand(self, name):
+        insn = Instruction(FORMAT2_OPCODES[name], dst=Operand.register(7))
+        back = roundtrip(insn)
+        assert back.mnemonic == name and back.dst == insn.dst
+
+    def test_reti_is_fixed_word(self):
+        insn = Instruction(FORMAT2_OPCODES["reti"])
+        assert encode(insn) == [0x1300]
+
+    def test_call_immediate(self):
+        insn = Instruction(FORMAT2_OPCODES["call"], dst=Operand.immediate(0xE000))
+        words = encode(insn)
+        assert words[0] == 0x12B0 and words[1] == 0xE000
+
+    def test_swpb_byte_mode_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(FORMAT2_OPCODES["swpb"], dst=Operand.register(4),
+                               byte_mode=True))
+
+    def test_push_byte_mode_allowed(self):
+        insn = Instruction(FORMAT2_OPCODES["push"], dst=Operand.register(4),
+                          byte_mode=True)
+        assert roundtrip(insn).byte_mode
+
+
+class TestJumpEncoding:
+    @pytest.mark.parametrize("name", sorted(JUMP_OPCODES))
+    def test_roundtrip_every_condition(self, name):
+        insn = Instruction(JUMP_OPCODES[name], offset=-3)
+        back = roundtrip(insn)
+        assert back.mnemonic == name and back.offset == -3
+
+    @pytest.mark.parametrize("offset", [-512, -1, 0, 1, 511])
+    def test_offset_range_limits(self, offset):
+        insn = Instruction(JUMP_OPCODES["jmp"], offset=offset)
+        assert roundtrip(insn).offset == offset
+
+    @pytest.mark.parametrize("offset", [-513, 512, 1000])
+    def test_out_of_range_offset_rejected(self, offset):
+        with pytest.raises(EncodingError):
+            encode(Instruction(JUMP_OPCODES["jmp"], offset=offset))
+
+
+class TestDecodeErrors:
+    @pytest.mark.parametrize("word", [0x0000, 0x0F00, 0x13C0 | 0x80])
+    def test_illegal_words_rejected(self, word):
+        with pytest.raises(DecodingError):
+            decode_words([word])
+
+    def test_truncated_extension_word(self):
+        # mov #imm, r5 needs a second word
+        with pytest.raises(DecodingError):
+            decode_words([0x4035])
+
+    def test_lookup_aliases(self):
+        assert lookup("jne").mnemonic == "jnz"
+        assert lookup("jeq").mnemonic == "jz"
+        assert lookup("jlo").mnemonic == "jnc"
+        assert lookup("jhs").mnemonic == "jc"
+        assert lookup("nonsense") is None
+
+
+# ---- property-based round-trips ---------------------------------------------
+
+_regs = st.integers(min_value=4, max_value=15)  # avoid CG registers for src
+_values = st.integers(min_value=0, max_value=0xFFFF)
+
+
+def _source_operands():
+    return st.one_of(
+        _regs.map(Operand.register),
+        st.tuples(_values, _regs).map(lambda t: Operand.indexed(*t)),
+        _values.map(Operand.absolute),
+        _regs.map(Operand.indirect),
+        _regs.map(Operand.autoinc),
+        _values.map(Operand.immediate),
+        _values.map(Operand.symbolic),
+    )
+
+
+def _dest_operands():
+    return st.one_of(
+        st.integers(min_value=0, max_value=15).map(Operand.register),
+        st.tuples(_values, _regs).map(lambda t: Operand.indexed(*t)),
+        _values.map(Operand.absolute),
+    )
+
+
+@given(
+    name=st.sampled_from(sorted(FORMAT1_OPCODES)),
+    src=_source_operands(),
+    dst=_dest_operands(),
+    byte=st.booleans(),
+)
+def test_format1_roundtrip_property(name, src, dst, byte):
+    insn = Instruction(FORMAT1_OPCODES[name], src=src, dst=dst, byte_mode=byte)
+    back = roundtrip(insn)
+    assert back.mnemonic == name
+    assert back.byte_mode == byte
+    # Immediates matching a CG constant legitimately decode as CONSTANT.
+    if src.mode is AddrMode.IMMEDIATE and back.src.mode is AddrMode.CONSTANT:
+        assert back.src.value == src.value
+    else:
+        assert back.src == src
+    assert back.dst == dst
+
+
+@given(offset=st.integers(min_value=-512, max_value=511),
+       name=st.sampled_from(sorted(JUMP_OPCODES)))
+def test_jump_roundtrip_property(offset, name):
+    insn = Instruction(JUMP_OPCODES[name], offset=offset)
+    assert roundtrip(insn).offset == offset
+
+
+@given(src=_source_operands(), dst=_dest_operands(), byte=st.booleans())
+def test_size_words_matches_encoding(src, dst, byte):
+    insn = Instruction(FORMAT1_OPCODES["add"], src=src, dst=dst, byte_mode=byte)
+    assert insn.size_words == len(encode(insn))

@@ -1,0 +1,210 @@
+"""Hardware-monitor sub-FSMs against synthetic step records."""
+
+import pytest
+
+from repro.casu.monitor import (
+    HardwareMonitor,
+    MonitorPolicy,
+    RomConfig,
+    ViolationReason,
+)
+from repro.cpu.core import StepKind, StepRecord
+from repro.memory.bus import Access, AccessKind
+from repro.memory.map import MemoryLayout
+from repro.peripherals.ports import VIOLATION_PORT
+
+LAYOUT = MemoryLayout.default()
+ROM = LAYOUT.secure_rom
+ENTRY = ROM.start
+LEAVE = ROM.start + 0x40
+ROM_CONFIG = RomConfig(entry_points=(ENTRY,), exit_ranges=((LEAVE, LEAVE + 2),))
+
+
+def step(pc, next_pc=None, accesses=(), kind=StepKind.INSTRUCTION, vector=None,
+         illegal=None):
+    return StepRecord(
+        kind=kind,
+        pc=pc,
+        next_pc=next_pc if next_pc is not None else pc + 2,
+        cycles=1,
+        accesses=list(accesses),
+        vector=vector,
+        illegal_word=illegal,
+    )
+
+
+def fetch(addr, pc):
+    return Access(AccessKind.FETCH, addr, 0, 2, pc)
+
+
+def write(addr, value, pc):
+    return Access(AccessKind.WRITE, addr, value, 2, pc, prev=0)
+
+
+def read(addr, pc):
+    return Access(AccessKind.READ, addr, 0, 2, pc)
+
+
+def eilid_monitor():
+    return HardwareMonitor(LAYOUT, MonitorPolicy.eilid(), ROM_CONFIG)
+
+
+def casu_monitor():
+    return HardwareMonitor(LAYOUT, MonitorPolicy.casu(), ROM_CONFIG)
+
+
+class TestWxorX:
+    def test_fetch_from_pmem_ok(self):
+        assert eilid_monitor().observe(step(0xE000, accesses=[fetch(0xE000, 0xE000)])) is None
+
+    def test_fetch_from_rom_ok(self):
+        monitor = eilid_monitor()
+        assert monitor.observe(step(ENTRY, accesses=[fetch(ENTRY, ENTRY)])) is None
+
+    @pytest.mark.parametrize("addr", [0x0200, 0x0300, 0x1000])
+    def test_fetch_from_ram_violates(self, addr):
+        violation = eilid_monitor().observe(step(addr, accesses=[fetch(addr, addr)]))
+        assert violation is not None
+        assert violation.reason is ViolationReason.W_XOR_X
+
+    def test_data_read_from_ram_ok(self):
+        assert eilid_monitor().observe(
+            step(0xE000, accesses=[read(0x0200, 0xE000)])
+        ) is None
+
+
+class TestPmemGuard:
+    def test_write_from_app_violates(self):
+        violation = casu_monitor().observe(
+            step(0xE010, accesses=[write(0xE100, 1, 0xE010)])
+        )
+        assert violation.reason is ViolationReason.PMEM_WRITE
+
+    def test_ivt_write_violates(self):
+        violation = casu_monitor().observe(
+            step(0xE010, accesses=[write(0xFFFE, 1, 0xE010)])
+        )
+        assert violation.reason is ViolationReason.PMEM_WRITE
+
+    def test_rom_write_without_session_violates(self):
+        monitor = casu_monitor()
+        violation = monitor.observe(step(ENTRY, accesses=[write(0xE100, 1, ENTRY)]))
+        assert violation.reason is ViolationReason.PMEM_WRITE
+
+    def test_update_session_from_rom_allowed(self):
+        monitor = casu_monitor()
+        monitor.open_update_session()
+        assert monitor.observe(step(ENTRY, accesses=[write(0xE100, 1, ENTRY)])) is None
+
+    def test_update_session_from_app_still_violates(self):
+        monitor = casu_monitor()
+        monitor.open_update_session()
+        violation = monitor.observe(step(0xE010, accesses=[write(0xE100, 1, 0xE010)]))
+        assert violation.reason is ViolationReason.PMEM_WRITE
+
+    def test_session_cleared_on_reset(self):
+        monitor = casu_monitor()
+        monitor.open_update_session()
+        monitor.reset()
+        assert not monitor.update_session_open
+
+
+class TestSecureRamGuard:
+    SHADOW = LAYOUT.secure_dmem.start + 4
+
+    def test_app_read_violates(self):
+        violation = eilid_monitor().observe(
+            step(0xE010, accesses=[read(self.SHADOW, 0xE010)])
+        )
+        assert violation.reason is ViolationReason.SECURE_RAM_ACCESS
+
+    def test_app_write_violates(self):
+        violation = eilid_monitor().observe(
+            step(0xE010, accesses=[write(self.SHADOW, 1, 0xE010)])
+        )
+        assert violation.reason is ViolationReason.SECURE_RAM_ACCESS
+
+    def test_rom_access_allowed(self):
+        assert eilid_monitor().observe(
+            step(ENTRY, accesses=[write(self.SHADOW, 1, ENTRY)])
+        ) is None
+
+    def test_casu_policy_does_not_guard(self):
+        # The shadow-stack guard is the EILID hardware extension.
+        assert casu_monitor().observe(
+            step(0xE010, accesses=[write(self.SHADOW, 1, 0xE010)])
+        ) is None
+
+
+class TestRomAtomicity:
+    def test_entry_at_entry_point_ok(self):
+        assert eilid_monitor().observe(step(0xE010, next_pc=ENTRY)) is None
+
+    def test_mid_rom_entry_violates(self):
+        violation = eilid_monitor().observe(step(0xE010, next_pc=ENTRY + 8))
+        assert violation.reason is ViolationReason.ROM_ENTRY
+
+    def test_exit_from_leave_ok(self):
+        assert eilid_monitor().observe(step(LEAVE + 2, next_pc=0xE010)) is None
+
+    def test_mid_rom_exit_violates(self):
+        violation = eilid_monitor().observe(step(ENTRY + 4, next_pc=0xE010))
+        assert violation.reason is ViolationReason.ROM_EXIT
+
+    def test_irq_inside_rom_violates(self):
+        violation = eilid_monitor().observe(
+            step(ENTRY + 4, next_pc=0xFFF2, kind=StepKind.INTERRUPT, vector=9)
+        )
+        assert violation.reason is ViolationReason.IRQ_IN_ROM
+
+    def test_irq_outside_rom_ok(self):
+        assert eilid_monitor().observe(
+            step(0xE010, next_pc=0xFFF2, kind=StepKind.INTERRUPT, vector=9)
+        ) is None
+
+    def test_rom_internal_transfer_ok(self):
+        assert eilid_monitor().observe(step(ENTRY, next_pc=ENTRY + 20)) is None
+
+
+class TestViolationPort:
+    @pytest.mark.parametrize("code,reason", [
+        (1, ViolationReason.CFI_RETURN),
+        (2, ViolationReason.CFI_RFI),
+        (3, ViolationReason.CFI_INDIRECT),
+        (4, ViolationReason.SHADOW_OVERFLOW),
+        (5, ViolationReason.SHADOW_UNDERFLOW),
+        (6, ViolationReason.TABLE_OVERFLOW),
+        (7, ViolationReason.BAD_SELECTOR),
+    ])
+    def test_rom_write_maps_reason_codes(self, code, reason):
+        violation = eilid_monitor().observe(
+            step(ENTRY + 10, accesses=[write(VIOLATION_PORT, code, ENTRY + 10)])
+        )
+        assert violation.reason is reason
+
+    def test_app_write_is_an_attack(self):
+        violation = eilid_monitor().observe(
+            step(0xE010, accesses=[write(VIOLATION_PORT, 1, 0xE010)])
+        )
+        assert violation.reason is ViolationReason.SECURE_PORT
+
+
+class TestIllegalInstruction:
+    def test_illegal_step_violates(self):
+        violation = eilid_monitor().observe(
+            step(0xE010, kind=StepKind.ILLEGAL, illegal=0x0000)
+        )
+        assert violation.reason is ViolationReason.ILLEGAL_INSN
+
+
+class TestComposition:
+    def test_first_violation_wins(self):
+        # A fetch from RAM combined with a PMEM write: W-xor-X is
+        # checked first in the composition order.
+        record = step(0x0200, accesses=[fetch(0x0200, 0x0200), write(0xE000, 1, 0x0200)])
+        violation = eilid_monitor().observe(record)
+        assert violation.reason is ViolationReason.W_XOR_X
+
+    def test_benign_step_passes_everything(self):
+        record = step(0xE010, accesses=[fetch(0xE010, 0xE010), write(0x0300, 5, 0xE010)])
+        assert eilid_monitor().observe(record) is None

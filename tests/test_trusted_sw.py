@@ -1,0 +1,219 @@
+"""EILIDsw: the trusted ROM driven on the simulated CPU.
+
+Differential testing against :class:`ShadowStackModel`: sequences of
+shadow-stack operations are executed both on the Python model and on
+the real ROM (via the NS shims on the device), and outcomes -- stored
+words, index register movement, violation reasons -- must agree.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.casu.monitor import ViolationReason
+from repro.device import build_device
+from repro.eilid.policy import EilidPolicy
+from repro.eilid.shadow_stack import ShadowStackModel
+from repro.eilid.trusted_sw import SELECTORS, TrustedSoftware
+from repro.memory.map import MemoryLayout
+from repro.toolchain import link, parse_source
+
+LAYOUT = MemoryLayout.default()
+POLICY = EilidPolicy()
+TRUSTED = TrustedSoftware(LAYOUT, POLICY)
+PLAN = TRUSTED.plan
+
+_DRIVER = """
+    .text
+__start:
+    mov #0x0a00, r1
+__halt:
+    jmp __halt
+    .vector 15, __start
+"""
+
+
+@pytest.fixture
+def device():
+    units = [
+        parse_source(_DRIVER, "driver.s"),
+        parse_source(TRUSTED.shims_source(), "eilid_shims.s"),
+        parse_source(TRUSTED.rom_source(), "eilid_rom.s"),
+    ]
+    program = link(units, name="rom-driver")
+    return build_device(program, security="eilid")
+
+
+def call_shim(device, name, r6=0, r7=0):
+    """Invoke NS_EILID_<name> as instrumented code would; returns the
+    violation list (empty on success)."""
+    return device.call_routine(f"NS_EILID_{name}", regs={6: r6, 7: r7})
+
+
+def reason_of(violations):
+    return violations[0].reason if violations else None
+
+
+class TestRomBasics:
+    def test_init_zeroes_index_and_table(self, device):
+        device.cpu.set_reg(5, 7)
+        assert call_shim(device, "init") == []
+        assert device.cpu.get_reg(5) == 0
+        assert device.peek_word(PLAN.table_count_addr) == 0
+
+    def test_store_ra_writes_slot_and_increments_r5(self, device):
+        call_shim(device, "init")
+        assert call_shim(device, "store_ra", r6=0xE123) == []
+        assert device.cpu.get_reg(5) == 1
+        assert device.peek_word(PLAN.shadow_base) == 0xE123
+
+    def test_fig9b_indexing(self, device):
+        """Fig. 9b: with r5 == 2 the next store lands at base + 4."""
+        call_shim(device, "init")
+        call_shim(device, "store_ra", r6=0xAAAA)
+        call_shim(device, "store_ra", r6=0xBBBB)
+        assert device.cpu.get_reg(5) == 2
+        call_shim(device, "store_ra", r6=0xCCCC)
+        assert device.peek_word(PLAN.shadow_base + 4) == 0xCCCC
+
+    def test_check_ra_match_decrements(self, device):
+        call_shim(device, "init")
+        call_shim(device, "store_ra", r6=0xE200)
+        assert call_shim(device, "check_ra", r6=0xE200) == []
+        assert device.cpu.get_reg(5) == 0
+
+    def test_check_ra_mismatch_resets(self, device):
+        call_shim(device, "init")
+        call_shim(device, "store_ra", r6=0xE200)
+        violations = call_shim(device, "check_ra", r6=0xE202)
+        assert reason_of(violations) is ViolationReason.CFI_RETURN
+        assert device.reset_count == 1
+
+    def test_check_ra_underflow_resets(self, device):
+        call_shim(device, "init")
+        violations = call_shim(device, "check_ra", r6=0xE200)
+        assert reason_of(violations) is ViolationReason.SHADOW_UNDERFLOW
+
+    def test_store_ra_overflow_resets(self, device):
+        call_shim(device, "init")
+        for _ in range(PLAN.shadow_capacity_words):
+            assert call_shim(device, "store_ra", r6=0xE000) == []
+        violations = call_shim(device, "store_ra", r6=0xE000)
+        assert reason_of(violations) is ViolationReason.SHADOW_OVERFLOW
+
+    def test_lifo_order_enforced(self, device):
+        call_shim(device, "init")
+        call_shim(device, "store_ra", r6=0xE100)
+        call_shim(device, "store_ra", r6=0xE200)
+        assert call_shim(device, "check_ra", r6=0xE200) == []
+        assert call_shim(device, "check_ra", r6=0xE100) == []
+
+
+class TestRfi:
+    def test_store_check_pair(self, device):
+        call_shim(device, "init")
+        assert call_shim(device, "store_rfi", r6=0xE300, r7=0x0008) == []
+        assert device.cpu.get_reg(5) == 2  # two slots (PC + SR)
+        assert call_shim(device, "check_rfi", r6=0xE300, r7=0x0008) == []
+        assert device.cpu.get_reg(5) == 0
+
+    def test_pc_mismatch_resets(self, device):
+        call_shim(device, "init")
+        call_shim(device, "store_rfi", r6=0xE300, r7=0x0008)
+        violations = call_shim(device, "check_rfi", r6=0xE302, r7=0x0008)
+        assert reason_of(violations) is ViolationReason.CFI_RFI
+
+    def test_sr_mismatch_resets(self, device):
+        call_shim(device, "init")
+        call_shim(device, "store_rfi", r6=0xE300, r7=0x0008)
+        violations = call_shim(device, "check_rfi", r6=0xE300, r7=0x0000)
+        assert reason_of(violations) is ViolationReason.CFI_RFI
+
+    def test_underflow_resets(self, device):
+        call_shim(device, "init")
+        violations = call_shim(device, "check_rfi", r6=1, r7=2)
+        assert reason_of(violations) is ViolationReason.SHADOW_UNDERFLOW
+
+
+class TestIndirectTable:
+    def test_store_and_check(self, device):
+        call_shim(device, "init")
+        assert call_shim(device, "store_ind", r6=0xE100) == []
+        assert call_shim(device, "store_ind", r6=0xE200) == []
+        assert device.peek_word(PLAN.table_count_addr) == 2
+        assert call_shim(device, "check_ind", r6=0xE100) == []
+        assert call_shim(device, "check_ind", r6=0xE200) == []
+
+    def test_unknown_target_resets(self, device):
+        call_shim(device, "init")
+        call_shim(device, "store_ind", r6=0xE100)
+        violations = call_shim(device, "check_ind", r6=0xE102)
+        assert reason_of(violations) is ViolationReason.CFI_INDIRECT
+
+    def test_empty_table_resets(self, device):
+        call_shim(device, "init")
+        violations = call_shim(device, "check_ind", r6=0xE100)
+        assert reason_of(violations) is ViolationReason.CFI_INDIRECT
+
+    def test_table_overflow_resets(self, device):
+        call_shim(device, "init")
+        for index in range(PLAN.table_capacity):
+            assert call_shim(device, "store_ind", r6=0xE000 + 2 * index) == []
+        violations = call_shim(device, "store_ind", r6=0xEFFE)
+        assert reason_of(violations) is ViolationReason.TABLE_OVERFLOW
+
+
+class TestDispatch:
+    def test_bad_selector_resets(self, device):
+        device.cpu.set_reg(4, 99)
+        # Call the ROM entry directly with a bogus selector.
+        violations = device.call_routine("S_EILID_entry")
+        assert reason_of(violations) is ViolationReason.BAD_SELECTOR
+
+    def test_leave_clears_selector(self, device):
+        call_shim(device, "init")
+        call_shim(device, "store_ra", r6=0xE100)
+        assert device.cpu.get_reg(4) == 0
+
+    def test_selector_values_match_spec(self):
+        assert SELECTORS == {
+            "init": 0, "store_ra": 1, "check_ra": 2, "store_rfi": 3,
+            "check_rfi": 4, "store_ind": 5, "check_ind": 6,
+        }
+
+
+# ---- differential testing against the Python model ---------------------------
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("store_ra"), st.integers(0xE000, 0xEFFF)),
+        st.tuples(st.just("check_ra"), st.integers(0xE000, 0xEFFF)),
+        st.tuples(st.just("store_ind"), st.integers(0xE000, 0xE00F)),
+        st.tuples(st.just("check_ind"), st.integers(0xE000, 0xE00F)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=_OPS)
+def test_rom_matches_python_model(ops):
+    units = [
+        parse_source(_DRIVER, "driver.s"),
+        parse_source(TRUSTED.shims_source(), "eilid_shims.s"),
+        parse_source(TRUSTED.rom_source(), "eilid_rom.s"),
+    ]
+    program = link(units, name="rom-driver")
+    device = build_device(program, security="eilid")
+    model = ShadowStackModel(PLAN)
+
+    call_shim(device, "init")
+    model.init()
+    for op, value in ops:
+        expected = getattr(model, op)(value & 0xFFFE)
+        violations = call_shim(device, op, r6=value & 0xFFFE)
+        actual = reason_of(violations)
+        assert actual == expected, f"{op}(0x{value:04x}): rom={actual} model={expected}"
+        if expected is not None:
+            return  # device reset: run ends here, like the hardware
+        assert device.cpu.get_reg(5) == model.index

@@ -1,0 +1,65 @@
+"""Writer round-trip: render(parse(x)) links to an identical image."""
+
+import pytest
+
+from repro.apps.registry import APPS, TABLE_IV_ORDER
+from repro.minicc import compile_c
+from repro.toolchain import link, parse_source
+from repro.toolchain.writer import render_unit
+
+
+def image_of(source, name):
+    program = link([parse_source(source, name)], name="rt")
+    return program.segments(), dict(program.symbols)
+
+
+SIMPLE = """
+    .text
+    .global main
+__start:
+    mov #0x0a00, r1
+    call #main
+__halt:
+    jmp __halt
+main:
+    mov.b #0x12, r10
+    push @r10+
+    mov 4(r1), r11
+    clr r12
+    ret
+    .data
+value:
+    .word 0x1234, value, 'A'
+msg:
+    .asciz "hi\\n"
+    .bss
+buf:
+    .space 8
+    .vector 15, __start
+"""
+
+
+def test_simple_roundtrip_identical_image():
+    first = image_of(SIMPLE, "t.s")
+    rendered = render_unit(parse_source(SIMPLE, "t.s"))
+    second = image_of(rendered, "t.s")
+    assert first == second
+
+
+def test_double_roundtrip_is_stable():
+    rendered1 = render_unit(parse_source(SIMPLE, "t.s"))
+    rendered2 = render_unit(parse_source(rendered1, "t.s"))
+    assert rendered1 == rendered2
+
+
+@pytest.mark.parametrize("name", TABLE_IV_ORDER)
+def test_app_sources_roundtrip(name):
+    asm = compile_c(APPS[name].c_source, name)
+    unit = parse_source(asm, f"{name}.s")
+    rendered = render_unit(unit)
+    again = parse_source(rendered, f"{name}.s")
+    assert [type(s).__name__ for s in unit.statements(".text")] == [
+        type(s).__name__ for s in again.statements(".text")
+    ]
+    assert unit.vectors == again.vectors
+    assert unit.globals_ == again.globals_
