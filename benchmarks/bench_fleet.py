@@ -1,0 +1,57 @@
+"""Fleet-scale baseline: devices/sec the verifier can drive.
+
+Two numbers later scaling PRs (sharding, async transports,
+persistence) measure themselves against:
+
+* enroll + staged rollout throughput for a 1000-device fleet -- the
+  full authenticated path per device (key derivation, enrollment
+  handshake, per-device package MAC, device-side verify, simulated
+  ROM copy on the device CPU, MAC'd ack);
+* attestation round-trips/sec -- heartbeat evidence collection.
+
+The >=100 devices/sec floor is the subsystem's acceptance bar; the
+reference machine does several hundred.
+"""
+
+import time
+
+from repro.fleet import CampaignStatus, FleetSimulation
+
+FLEET_SIZE = 1000
+
+
+def enroll_and_rollout():
+    started = time.perf_counter()
+    fleet = FleetSimulation(size=FLEET_SIZE)
+    report = fleet.rollout(version=1)
+    elapsed = time.perf_counter() - started
+    return fleet, report, elapsed
+
+
+def test_bench_fleet_rollout_1k(benchmark):
+    fleet, report, elapsed = benchmark.pedantic(
+        enroll_and_rollout, rounds=1, iterations=1)
+    assert report.status is CampaignStatus.COMPLETE
+    assert report.applied == FLEET_SIZE
+    devices_per_sec = FLEET_SIZE / elapsed
+    benchmark.extra_info["devices"] = FLEET_SIZE
+    benchmark.extra_info["enroll_rollout_devices_per_sec"] = round(devices_per_sec)
+    benchmark.extra_info["rollout_devices_per_sec"] = round(report.devices_per_sec)
+    # The acceptance floor for the subsystem, with margin for CI noise.
+    assert devices_per_sec >= 100
+
+
+def test_bench_fleet_attestation_roundtrips(benchmark):
+    fleet = FleetSimulation(size=300)
+
+    def sweep():
+        results = fleet.attest_all()
+        assert all(result.ok for result in results.values())
+        return results
+
+    started = time.perf_counter()
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - started
+    roundtrips_per_sec = len(fleet.registry) / elapsed
+    benchmark.extra_info["attest_roundtrips_per_sec"] = round(roundtrips_per_sec)
+    assert roundtrips_per_sec >= 100

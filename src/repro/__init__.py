@@ -5,8 +5,10 @@ IoT Devices* (DATE 2025): a cycle-accurate MSP430-class simulator, an
 assembler/linker toolchain, a mini-C compiler, the CASU active
 root-of-trust (hardware monitor + authenticated update), the EILID
 instrumenter / trusted runtime / secure shadow stack, the paper's seven
-evaluation applications, an attack suite, and a verification layer
-(model-checked monitor properties + runtime control-flow oracles).
+evaluation applications, an attack suite, a verification layer
+(model-checked monitor properties + runtime control-flow oracles), and
+a fleet subsystem (:mod:`repro.fleet`) that enrolls, attests and
+updates thousands of simulated devices from the verifier side.
 
 Quickstart::
 

@@ -69,6 +69,11 @@ class UpdateStatus(enum.Enum):
     STALE_VERSION = "rejected-stale-version"
     COPY_FAILED = "copy-failed"
 
+    @property
+    def rejected(self):
+        """True for the ROM-check rejections (MAC or monotonic version)."""
+        return self in (UpdateStatus.BAD_MAC, UpdateStatus.STALE_VERSION)
+
 
 @dataclass
 class UpdateResult:

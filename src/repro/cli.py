@@ -10,10 +10,28 @@ Commands:
   Table IV application and print its run summary.
 * ``attack NAME [--security none|casu|eilid]`` -- run one attack.
 * ``verify`` -- model-check the monitor properties.
+* ``fleet enroll|status|rollout`` -- simulate a verifier managing a
+  population of devices (see :mod:`repro.fleet`).
+
+Exit codes (consistent across subcommands):
+
+* ``0`` -- success: the requested run completed and nothing bad
+  happened (an attack was contained, properties hold, the app ran
+  clean, a rollout completed).
+* ``1`` -- usage error: unknown app/attack name.
+* ``2`` -- security failure: an attack hijacked the device, a
+  verification property failed, an app run tripped violations or never
+  finished, or fleet devices could not be enrolled/attested.
+* ``3`` -- fleet rollout halted by the campaign failure threshold.
 """
 
 import argparse
 import sys
+
+EXIT_OK = 0
+EXIT_USAGE = 1
+EXIT_SECURITY = 2
+EXIT_HALTED = 3
 
 
 def _cmd_tables(args):
@@ -35,18 +53,21 @@ def _cmd_tables(args):
     if wanted in (None, 4):
         rows = measure_table4(repeats=args.repeats)
         print(render_table4(rows))
+    return EXIT_OK
 
 
 def _cmd_figure10(_args):
     from repro.eval import render_figure10
 
     print(render_figure10())
+    return EXIT_OK
 
 
 def _cmd_micro(_args):
     from repro.eval import render_micro
 
     print(render_micro())
+    return EXIT_OK
 
 
 def _cmd_run_app(args):
@@ -59,19 +80,25 @@ def _cmd_run_app(args):
           f"violations={len(run.violations)}")
     for port, value in run.output_events()[:20]:
         print(f"  {port} = 0x{value:04x}")
+    if not run.done or run.violations:
+        return EXIT_SECURITY
+    return EXIT_OK
 
 
 def _cmd_attack(args):
     import repro.attacks as attacks
+    from repro.attacks import AttackOutcome
 
     attack = getattr(attacks, args.name, None)
     if attack is None:
         names = [n for n in attacks.__all__ if not n.startswith("Attack")]
         print(f"unknown attack {args.name!r}; choose from: {', '.join(names)}")
-        return 1
+        return EXIT_USAGE
     result = attack(args.security)
     print(result)
-    return 0
+    if result.outcome is AttackOutcome.HIJACKED:
+        return EXIT_SECURITY  # the attack went through undetected
+    return EXIT_OK
 
 
 def _cmd_verify(_args):
@@ -81,11 +108,86 @@ def _cmd_verify(_args):
     for result in check_all():
         print(result)
         failures += 0 if result.holds else 1
-    return 1 if failures else 0
+    return EXIT_SECURITY if failures else EXIT_OK
+
+
+# ---- fleet -----------------------------------------------------------------
+
+
+class _UsageError(Exception):
+    """Bad flag values; rendered as a clean message + exit 1."""
+
+
+def _make_fleet(args):
+    from repro.fleet import FleetSimulation
+
+    try:
+        return FleetSimulation(
+            size=args.devices,
+            security=args.security,
+            loss=args.loss,
+            reorder=args.reorder,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        raise _UsageError(str(error)) from None
+
+
+def _cmd_fleet_enroll(args):
+    fleet = _make_fleet(args)
+    failed = [record.device_id for record in fleet.registry
+              if record.firmware_hash is None]
+    print(f"enrolled {len(fleet.registry) - len(failed)}/{len(fleet.registry)} "
+          f"devices (security={args.security}, loss={args.loss})")
+    for state, count in sorted(fleet.registry.state_histogram().items()):
+        print(f"  {state}: {count}")
+    return EXIT_SECURITY if failed else EXIT_OK
+
+
+def _cmd_fleet_status(args):
+    fleet = _make_fleet(args)
+    fleet.run_all(max_cycles=2_000)
+    results = fleet.attest_all()
+    print(fleet.status())
+    healthy = sum(1 for result in results.values() if result.ok)
+    return EXIT_OK if healthy == len(results) else EXIT_SECURITY
+
+
+def _cmd_fleet_rollout(args):
+    from repro.fleet import CampaignConfig
+
+    try:
+        config = CampaignConfig(
+            wave_fractions=tuple(float(f) for f in args.waves.split(",")),
+            failure_threshold=args.failure_threshold,
+            workers=args.workers,
+            batch_size=args.batch_size,
+        )
+    except ValueError as error:
+        raise _UsageError(f"bad rollout options: {error}") from None
+    fleet = _make_fleet(args)
+    report = fleet.rollout(
+        version=args.version,
+        config=config,
+        tamper_fraction=args.tamper_fraction,
+        rollback_fraction=args.rollback_fraction,
+    )
+    print(report.render())
+    print()
+    print(fleet.status())
+    return EXIT_HALTED if report.halted else EXIT_OK
+
+
+class _Parser(argparse.ArgumentParser):
+    """argparse exits 2 on bad flags; our contract reserves 2 for
+    security failures, so parse errors are rerouted to exit 1."""
+
+    def error(self, message):
+        raise _UsageError(message)
 
 
 def main(argv=None):
-    parser = argparse.ArgumentParser(prog="eilid", description=__doc__)
+    parser = _Parser(prog="eilid", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_tables = sub.add_parser("tables", help="regenerate paper tables")
@@ -112,8 +214,52 @@ def main(argv=None):
     p_verify = sub.add_parser("verify", help="model-check the monitor properties")
     p_verify.set_defaults(func=_cmd_verify)
 
-    args = parser.parse_args(argv)
-    return args.func(args) or 0
+    p_fleet = sub.add_parser("fleet", help="simulate a managed device fleet")
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def fleet_common(p):
+        p.add_argument("--devices", type=int, default=100,
+                       help="fleet size to simulate")
+        p.add_argument("--security", choices=("none", "casu", "eilid"),
+                       default="casu")
+        p.add_argument("--loss", type=float, default=0.0,
+                       help="per-message drop probability")
+        p.add_argument("--reorder", type=float, default=0.0,
+                       help="per-message reorder probability")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_enroll = fleet_sub.add_parser("enroll", help="provision + enroll devices")
+    fleet_common(p_enroll)
+    p_enroll.set_defaults(func=_cmd_fleet_enroll)
+
+    p_status = fleet_sub.add_parser("status",
+                                    help="run, attest, and print telemetry")
+    fleet_common(p_status)
+    p_status.set_defaults(func=_cmd_fleet_status)
+
+    p_rollout = fleet_sub.add_parser("rollout", help="staged firmware rollout")
+    fleet_common(p_rollout)
+    p_rollout.add_argument("--version", type=int, default=1,
+                           help="target firmware version")
+    p_rollout.add_argument("--waves", default="0.05,0.25,1.0",
+                           help="cumulative wave coverage fractions")
+    p_rollout.add_argument("--failure-threshold", type=float, default=0.10,
+                           help="per-wave failed fraction that halts")
+    p_rollout.add_argument("--tamper-fraction", type=float, default=0.0,
+                           help="share of devices whose package a MITM flips")
+    p_rollout.add_argument("--rollback-fraction", type=float, default=0.0,
+                           help="share of devices offered a stale version")
+    p_rollout.add_argument("--workers", type=int, default=0,
+                           help="worker pool size (0 = auto)")
+    p_rollout.add_argument("--batch-size", type=int, default=32)
+    p_rollout.set_defaults(func=_cmd_fleet_rollout)
+
+    try:
+        args = parser.parse_args(argv)
+        return args.func(args) or 0
+    except _UsageError as error:
+        print(f"eilid: error: {error}", file=sys.stderr)
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":

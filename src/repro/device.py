@@ -13,6 +13,7 @@ and resets the MCU -- the paper's "detects control-flow violation and
 triggers a reset".
 """
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -26,7 +27,7 @@ from repro.casu.update import (
 )
 from repro.cpu import Cpu, InterruptController
 from repro.cpu.core import StepKind
-from repro.eilid.trusted_sw import TrustedSoftware
+from repro.eilid.trusted_sw import AttestationReport, TrustedSoftware
 from repro.errors import UpdateError
 from repro.memory.bus import Bus
 from repro.peripherals import (
@@ -132,6 +133,27 @@ class Device:
     @property
     def violations(self):
         return [e.violation for e in self.events if e.kind == "violation"]
+
+    def firmware_measurement(self) -> str:
+        """SHA-256 over PMEM + IVT, the device's software identity."""
+        start = self.layout.pmem.start
+        end = self.layout.ivt.end
+        return hashlib.sha256(bytes(self.bus.mem[start:end + 1])).hexdigest()
+
+    def attestation_report(self) -> AttestationReport:
+        """Snapshot the evidence a remote verifier attests against.
+
+        Models the RoT-side measurement (see DESIGN.md's substitution
+        note: crypto runs natively, the guarded state it measures is
+        the simulated one).  Consumed by :mod:`repro.fleet.protocol`.
+        """
+        return AttestationReport(
+            firmware_hash=self.firmware_measurement(),
+            firmware_version=self.update_engine.current_version,
+            reset_count=self.reset_count,
+            violation_reasons=tuple(v.reason.value for v in self.violations),
+            cycle=self.cycle,
+        )
 
     # ---- stepping ----------------------------------------------------------------
 

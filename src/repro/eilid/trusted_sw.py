@@ -19,6 +19,7 @@ entry), the CASU update-copy routine, and the two crt0 variants
 """
 
 from dataclasses import dataclass
+from typing import Tuple
 
 from repro.casu.monitor import RomConfig
 from repro.eilid.policy import EilidPolicy, SecureMemoryPlan
@@ -47,6 +48,44 @@ REASON_TABLE = 6
 REASON_SELECTOR = 7
 
 SHIM_NAMES = tuple(f"NS_EILID_{name}" for name in SELECTORS)
+
+# Field order is the canonical wire encoding of an attestation report;
+# the verifier (repro.fleet.protocol) MACs exactly this serialisation.
+ATTESTATION_FIELDS = (
+    "firmware_hash",
+    "firmware_version",
+    "reset_count",
+    "violation_reasons",
+    "cycle",
+)
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """What the trusted software reports to a remote verifier.
+
+    The real EILIDsw would measure PMEM and sign the result inside the
+    RoT; here the measurement is taken by ``Device.attestation_report``
+    (native hash, same substitution as the update MAC) and the report
+    carries the monitor's violation log so the verifier can see *why*
+    a device has been resetting.
+    """
+
+    firmware_hash: str  # SHA-256 over PMEM+IVT, hex
+    firmware_version: int  # UpdateEngine's monotonic counter
+    reset_count: int
+    violation_reasons: Tuple[str, ...]  # ViolationReason values, in order
+    cycle: int  # device-local logical time
+
+    def message(self) -> bytes:
+        """Canonical byte encoding (the MAC'd attestation evidence)."""
+        parts = []
+        for name in ATTESTATION_FIELDS:
+            value = getattr(self, name)
+            if isinstance(value, tuple):
+                value = ",".join(value)
+            parts.append(str(value).encode())
+        return b"\x1f".join(parts)
 
 
 @dataclass

@@ -1,0 +1,53 @@
+"""Fleet: the verifier/operator side of EILID.
+
+Everything below the wire in this repo -- CASU's active RoT, the EILID
+shadow-stack bank, the authenticated update -- models ONE device.  This
+package models the other end of the deployment story: a verifier that
+provisions per-device keys, collects authenticated attestation reports
+(firmware hash + CFI-violation log), pushes signed firmware in staged
+waves, and reacts to rejections across a population of thousands of
+simulated devices.
+
+* :mod:`repro.fleet.registry`   -- device records and lifecycle states.
+* :mod:`repro.fleet.transport`  -- simulated lossy/reordering links.
+* :mod:`repro.fleet.protocol`   -- authenticated verifier<->device messages.
+* :mod:`repro.fleet.campaign`   -- staged-rollout engine (waves, halt).
+* :mod:`repro.fleet.telemetry`  -- fleet-level counters and histograms.
+* :mod:`repro.fleet.simulation` -- N devices + agents + links in one object.
+"""
+
+from repro.fleet.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    CampaignStatus,
+    DeviceOutcome,
+    RolloutCampaign,
+    WaveResult,
+)
+from repro.fleet.protocol import DeviceAgent, MsgKind, VerifierSession
+from repro.fleet.registry import DeviceRecord, FleetRegistry, Lifecycle
+from repro.fleet.simulation import FleetSimulation
+from repro.fleet.telemetry import FleetTelemetry
+from repro.fleet.transport import ChannelStats, Envelope, Link, SimChannel, Transport
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "CampaignStatus",
+    "ChannelStats",
+    "DeviceAgent",
+    "DeviceOutcome",
+    "DeviceRecord",
+    "Envelope",
+    "FleetRegistry",
+    "FleetSimulation",
+    "FleetTelemetry",
+    "Lifecycle",
+    "Link",
+    "MsgKind",
+    "RolloutCampaign",
+    "SimChannel",
+    "Transport",
+    "VerifierSession",
+    "WaveResult",
+]

@@ -1,0 +1,260 @@
+"""Staged-rollout engine: waves, failure thresholds, automatic halt.
+
+A campaign pushes one target firmware version across the manageable
+part of the fleet in expanding waves (canary -> broader -> everyone).
+Within a wave, devices are partitioned into batches and the batches
+are executed on a worker pool; each worker drives its devices' update
+conversations (offer -> device-side MAC/version check -> ack) end to
+end, including the simulated ROM copy on the device CPU, so "devices
+per second" here is the real cost of the whole authenticated path.
+
+After every wave the engine compares the wave's failure fraction
+(MAC rejections, version rollbacks, unreachable devices) against the
+configured threshold.  Exceeding it HALTS the campaign: no further
+wave is offered, the wave's failed devices have their UPDATING mark
+rolled back (MAC failures are quarantined instead), and the report
+says why.  Firmware itself never rolls back -- the device's monotonic
+version check forbids it by design; rollback here is a registry-state
+operation, which is all a verifier can honestly do.
+"""
+
+import enum
+import os
+import time
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.casu.update import UpdatePackage, UpdateStatus
+from repro.eval.report import render_table
+from repro.fleet.registry import DeviceRecord, FleetRegistry, Lifecycle
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs for one rollout."""
+
+    # Cumulative fleet coverage after each wave: 5% canary, then 25%,
+    # then everyone.  Must be increasing and end at 1.0.
+    wave_fractions: Tuple[float, ...] = (0.05, 0.25, 1.0)
+    # Halt when a wave's failed fraction exceeds this.
+    failure_threshold: float = 0.10
+    max_attempts: int = 4  # per-message transport retries
+    workers: int = 0  # 0 -> min(8, cpu count)
+    batch_size: int = 32  # devices per worker task
+
+    def __post_init__(self):
+        fractions = tuple(self.wave_fractions)
+        if not fractions or sorted(fractions) != list(fractions):
+            raise ValueError("wave_fractions must be increasing")
+        if fractions[-1] != 1.0:
+            raise ValueError("the final wave must cover the whole fleet (1.0)")
+        self.wave_fractions = fractions
+        if not 0.0 <= self.failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in [0, 1]")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = auto)")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+    @property
+    def effective_workers(self) -> int:
+        return self.workers or min(8, os.cpu_count() or 1)
+
+
+class CampaignStatus(enum.Enum):
+    COMPLETE = "complete"
+    HALTED = "halted"
+    EMPTY = "empty"
+
+
+@dataclass
+class DeviceOutcome:
+    device_id: str
+    status: Optional[UpdateStatus]  # None -> unreachable / forged ack
+    attempts: int
+
+    @property
+    def applied(self):
+        return self.status is UpdateStatus.APPLIED
+
+    @property
+    def status_label(self):
+        return self.status.value if self.status else "unreachable"
+
+
+@dataclass
+class WaveResult:
+    index: int
+    size: int
+    applied: int
+    failed: int
+    statuses: Counter = field(default_factory=Counter)
+
+    @property
+    def failure_fraction(self):
+        return self.failed / self.size if self.size else 0.0
+
+
+@dataclass
+class CampaignReport:
+    status: CampaignStatus
+    target_version: int
+    waves: List[WaveResult]
+    applied: int
+    failed: int
+    skipped: int  # devices never offered (halt before their wave)
+    elapsed_s: float
+    halt_reason: str = ""
+
+    @property
+    def halted(self):
+        return self.status is CampaignStatus.HALTED
+
+    @property
+    def offered(self):
+        return self.applied + self.failed
+
+    @property
+    def devices_per_sec(self):
+        return self.offered / self.elapsed_s if self.elapsed_s else 0.0
+
+    def render(self) -> str:
+        rows = [
+            (w.index, w.size, w.applied, w.failed,
+             f"{100 * w.failure_fraction:.1f}%")
+            for w in self.waves
+        ]
+        table = render_table(
+            ("wave", "devices", "applied", "failed", "fail%"), rows,
+            title=f"rollout to v{self.target_version}: {self.status.value}"
+            + (f" ({self.halt_reason})" if self.halt_reason else ""))
+        tail = (f"{self.applied} applied, {self.failed} failed, "
+                f"{self.skipped} skipped; "
+                f"{self.devices_per_sec:.0f} devices/sec")
+        return table + "\n" + tail
+
+
+class RolloutCampaign:
+    """Drive one staged rollout over a registry's manageable devices.
+
+    Decoupled from the simulation: all it needs is the registry, a
+    ``session_factory(device_id) -> VerifierSession`` and a
+    ``package_factory(record) -> UpdatePackage`` (per-device, because
+    packages are MAC'd under per-device keys -- and because tests and
+    demos model a man-in-the-middle by tampering some devices' copies).
+    """
+
+    def __init__(self, registry: FleetRegistry,
+                 session_factory: Callable[[str], "VerifierSession"],
+                 package_factory: Callable[[DeviceRecord], UpdatePackage],
+                 target_version: int,
+                 config: Optional[CampaignConfig] = None,
+                 telemetry=None):
+        self.registry = registry
+        self.session_factory = session_factory
+        self.package_factory = package_factory
+        self.target_version = target_version
+        self.config = config or CampaignConfig()
+        self.telemetry = telemetry
+
+    # ---- wave planning ---------------------------------------------------
+
+    def plan_waves(self, device_ids: Sequence[str]) -> List[List[str]]:
+        """Split ids into waves from the cumulative coverage fractions."""
+        total = len(device_ids)
+        waves, start = [], 0
+        for fraction in self.config.wave_fractions:
+            end = max(start + 1, round(total * fraction))
+            end = min(end, total)
+            if end > start:
+                waves.append(list(device_ids[start:end]))
+            start = end
+        return waves
+
+    # ---- execution -------------------------------------------------------
+
+    def run(self, device_ids: Optional[Sequence[str]] = None) -> CampaignReport:
+        ids = list(device_ids) if device_ids is not None \
+            else self.registry.manageable_ids()
+        started = time.perf_counter()
+        if not ids:
+            return CampaignReport(CampaignStatus.EMPTY, self.target_version,
+                                  [], 0, 0, 0, 0.0)
+        waves = self.plan_waves(ids)
+        results: List[WaveResult] = []
+        applied = failed = offered = 0
+        status, halt_reason = CampaignStatus.COMPLETE, ""
+        with ThreadPoolExecutor(max_workers=self.config.effective_workers) as pool:
+            for index, wave in enumerate(waves, start=1):
+                wave_result = self._run_wave(index, wave, pool)
+                results.append(wave_result)
+                applied += wave_result.applied
+                failed += wave_result.failed
+                offered += wave_result.size
+                if wave_result.failure_fraction > self.config.failure_threshold:
+                    status = CampaignStatus.HALTED
+                    halt_reason = (
+                        f"wave {index} failure {100 * wave_result.failure_fraction:.1f}% "
+                        f"> threshold {100 * self.config.failure_threshold:.1f}%")
+                    break
+        return CampaignReport(
+            status=status,
+            target_version=self.target_version,
+            waves=results,
+            applied=applied,
+            failed=failed,
+            skipped=len(ids) - offered,
+            elapsed_s=time.perf_counter() - started,
+            halt_reason=halt_reason,
+        )
+
+    def _run_wave(self, index: int, wave: List[str],
+                  pool: ThreadPoolExecutor) -> WaveResult:
+        for device_id in wave:
+            self.registry.get(device_id).state = Lifecycle.UPDATING
+        batch_size = self.config.batch_size
+        batches = [wave[i:i + batch_size] for i in range(0, len(wave), batch_size)]
+        outcomes: List[DeviceOutcome] = []
+        for batch_outcomes in pool.map(self._run_batch, batches):
+            outcomes.extend(batch_outcomes)
+        result = WaveResult(index=index, size=len(wave), applied=0, failed=0)
+        for outcome in outcomes:
+            self._apply_outcome(outcome)
+            result.statuses[outcome.status_label] += 1
+            if outcome.applied:
+                result.applied += 1
+            else:
+                result.failed += 1
+        return result
+
+    def _run_batch(self, batch: List[str]) -> List[DeviceOutcome]:
+        """Worker task: one batch of devices, conversations end to end."""
+        outcomes = []
+        for device_id in batch:
+            record = self.registry.get(device_id)
+            session = self.session_factory(device_id)
+            package = self.package_factory(record)
+            status, attempts = session.offer_update(package)
+            outcomes.append(DeviceOutcome(device_id, status, attempts))
+        return outcomes
+
+    def _apply_outcome(self, outcome: DeviceOutcome):
+        """Fold one device's result back into the registry (main thread)."""
+        record = self.registry.get(outcome.device_id)
+        if outcome.applied:
+            record.state = Lifecycle.ACTIVE
+        else:
+            record.update_failures += 1
+            if outcome.status is UpdateStatus.BAD_MAC:
+                # The device rejected evidence signed with its own key:
+                # either the package or the link is compromised.
+                record.state = Lifecycle.QUARANTINED
+            else:
+                # Roll the UPDATING mark back; the device keeps running
+                # its current (older but authentic) firmware.
+                record.state = Lifecycle.ACTIVE
+        if self.telemetry is not None:
+            self.telemetry.record_update(outcome.device_id, outcome.status,
+                                         outcome.attempts)

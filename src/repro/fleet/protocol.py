@@ -1,0 +1,298 @@
+"""Authenticated verifier<->device protocol.
+
+Three exchanges, all request/response over an untrusted
+:class:`~repro.fleet.transport.Link`:
+
+* **enroll**  -- the verifier challenges a freshly provisioned device;
+  the reply carries the device's first attestation report, MAC'd under
+  the shared per-device key, and its hash becomes the golden reference.
+* **attest**  -- the heartbeat: firmware hash + monotonic version +
+  the monitor's violation log, MAC'd with a verifier nonce for
+  freshness.
+* **update**  -- an :class:`~repro.casu.update.UpdatePackage` offer;
+  the *device* decides (its ROM-modelled MAC/version check in
+  ``UpdateEngine.verify``), and the ack reports the resulting status
+  and current version, again MAC'd.
+
+The channel may drop or reorder anything, so every verifier request
+retries up to ``max_attempts`` and matches replies by nonce.  A lost
+ack after a successful apply surfaces as a STALE_VERSION retry whose
+reported version already equals the target -- the session folds that
+back into "applied", the classic idempotent-update dance.
+"""
+
+import enum
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.casu.update import UpdateKey, UpdatePackage, UpdateStatus
+from repro.eilid.trusted_sw import AttestationReport
+from repro.fleet.registry import DeviceRecord, Lifecycle
+from repro.fleet.transport import Link
+
+VERIFIER_ID = "verifier"
+
+
+class MsgKind(enum.Enum):
+    ENROLL_REQ = "enroll-req"
+    ENROLL_ACK = "enroll-ack"
+    ATTEST_REQ = "attest-req"
+    ATTEST_REPORT = "attest-report"
+    UPDATE_OFFER = "update-offer"
+    UPDATE_ACK = "update-ack"
+
+
+def _mac(key: UpdateKey, tag: bytes, *parts: bytes) -> bytes:
+    digest = hmac.new(key.secret, tag, hashlib.sha256)
+    for part in parts:
+        digest.update(len(part).to_bytes(4, "little"))
+        digest.update(part)
+    return digest.digest()
+
+
+# ---- wire bodies -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Challenge:
+    nonce: int
+
+
+@dataclass(frozen=True)
+class SignedReport:
+    device_id: str
+    nonce: int
+    report: AttestationReport
+    mac: bytes
+
+    @staticmethod
+    def make(key, tag, device_id, nonce, report):
+        mac = _mac(key, tag, device_id.encode(),
+                   nonce.to_bytes(8, "little"), report.message())
+        return SignedReport(device_id, nonce, report, mac)
+
+    def verify(self, key, tag) -> bool:
+        expected = _mac(key, tag, self.device_id.encode(),
+                        self.nonce.to_bytes(8, "little"), self.report.message())
+        return hmac.compare_digest(expected, self.mac)
+
+
+@dataclass(frozen=True)
+class UpdateOffer:
+    nonce: int
+    package: UpdatePackage
+
+
+@dataclass(frozen=True)
+class UpdateAck:
+    device_id: str
+    nonce: int
+    status: UpdateStatus
+    current_version: int
+    mac: bytes
+
+    @staticmethod
+    def make(key, device_id, nonce, status, current_version):
+        mac = _mac(key, b"update-ack", device_id.encode(),
+                   nonce.to_bytes(8, "little"), status.value.encode(),
+                   current_version.to_bytes(8, "little"))
+        return UpdateAck(device_id, nonce, status, current_version, mac)
+
+    def verify(self, key) -> bool:
+        expected = _mac(key, b"update-ack", self.device_id.encode(),
+                        self.nonce.to_bytes(8, "little"), self.status.value.encode(),
+                        self.current_version.to_bytes(8, "little"))
+        return hmac.compare_digest(expected, self.mac)
+
+
+# ---- device side -----------------------------------------------------------
+
+
+class DeviceAgent:
+    """Device-side endpoint: owns one Device, answers its link's downlink.
+
+    The agent is the untrusted-software shim around the device: the
+    actual accept/reject decisions happen inside ``apply_update`` on
+    the modelled ROM path, and the MACs use the key baked into the
+    device at provisioning.
+    """
+
+    def __init__(self, device_id: str, device, link: Link):
+        self.device_id = device_id
+        self.device = device
+        self.link = link
+
+    @property
+    def key(self) -> UpdateKey:
+        return self.device.update_engine.key
+
+    def pump(self):
+        """Handle every message currently deliverable on the downlink."""
+        for envelope in self.link.down.drain():
+            self._handle(envelope)
+
+    def _handle(self, envelope):
+        kind = MsgKind(envelope.kind)
+        body = envelope.body
+        if kind is MsgKind.ENROLL_REQ:
+            reply = SignedReport.make(self.key, b"enroll", self.device_id,
+                                      body.nonce, self.device.attestation_report())
+            self._send(MsgKind.ENROLL_ACK, reply)
+        elif kind is MsgKind.ATTEST_REQ:
+            reply = SignedReport.make(self.key, b"attest", self.device_id,
+                                      body.nonce, self.device.attestation_report())
+            self._send(MsgKind.ATTEST_REPORT, reply)
+        elif kind is MsgKind.UPDATE_OFFER:
+            result = self.device.apply_update(body.package)
+            ack = UpdateAck.make(self.key, self.device_id, body.nonce,
+                                 result.status,
+                                 self.device.update_engine.current_version)
+            self._send(MsgKind.UPDATE_ACK, ack)
+
+    def _send(self, kind: MsgKind, body):
+        self.link.up.send(self.device_id, VERIFIER_ID, kind.value, body)
+
+
+# ---- verifier side ---------------------------------------------------------
+
+
+@dataclass
+class AttestResult:
+    ok: bool
+    detail: str = ""
+    report: Optional[AttestationReport] = None
+    attempts: int = 0
+
+
+class VerifierSession:
+    """One verifier<->device conversation: enroll, attest, update.
+
+    Stateless beyond a nonce counter; safe to run one session per
+    campaign worker because each session owns its device's link.
+    """
+
+    def __init__(self, record: DeviceRecord, agent: DeviceAgent, link: Link,
+                 telemetry=None, max_attempts=4):
+        self.record = record
+        self.agent = agent
+        self.link = link
+        self.telemetry = telemetry
+        self.max_attempts = max_attempts
+        self._nonce = 0
+
+    # ---- plumbing --------------------------------------------------------
+
+    def _next_nonce(self) -> int:
+        self._nonce += 1
+        return self._nonce
+
+    def _exchange(self, kind: MsgKind, body, reply_kind: MsgKind,
+                  nonce: int) -> Tuple[Optional[object], int]:
+        """Send, pump the device, collect the nonce-matching reply.
+
+        Retries over the lossy link; returns (reply_body, attempts) or
+        (None, attempts) when the device stayed unreachable.
+        """
+        for attempt in range(1, self.max_attempts + 1):
+            self.link.down.send(VERIFIER_ID, self.record.device_id,
+                                kind.value, body)
+            self.agent.pump()
+            for envelope in self.link.up.drain():
+                if envelope.kind != reply_kind.value:
+                    continue
+                if getattr(envelope.body, "nonce", None) != nonce:
+                    continue  # stale retransmission
+                return envelope.body, attempt
+        return None, self.max_attempts
+
+    # ---- exchanges -------------------------------------------------------
+
+    def enroll(self) -> AttestResult:
+        """Challenge the device; on success its hash becomes golden."""
+        nonce = self._next_nonce()
+        reply, attempts = self._exchange(
+            MsgKind.ENROLL_REQ, Challenge(nonce), MsgKind.ENROLL_ACK, nonce)
+        if reply is None:
+            return AttestResult(False, "unreachable", attempts=attempts)
+        if not reply.verify(self.record.key, b"enroll"):
+            self.record.state = Lifecycle.QUARANTINED
+            return AttestResult(False, "bad-mac", attempts=attempts)
+        self.record.firmware_hash = reply.report.firmware_hash
+        self.record.firmware_version = reply.report.firmware_version
+        self.record.last_seen = reply.report.cycle
+        return AttestResult(True, report=reply.report, attempts=attempts)
+
+    def attest(self) -> AttestResult:
+        """One heartbeat: verify the report, fold it into the record."""
+        nonce = self._next_nonce()
+        reply, attempts = self._exchange(
+            MsgKind.ATTEST_REQ, Challenge(nonce), MsgKind.ATTEST_REPORT, nonce)
+        if reply is None:
+            result = AttestResult(False, "unreachable", attempts=attempts)
+            self._note_attest(result)
+            return result
+        if not reply.verify(self.record.key, b"attest"):
+            self.record.state = Lifecycle.QUARANTINED
+            result = AttestResult(False, "bad-mac", attempts=attempts)
+            self._note_attest(result)
+            return result
+        report = reply.report
+        record = self.record
+        if (record.firmware_hash is not None
+                and report.firmware_version == record.firmware_version
+                and report.firmware_hash != record.firmware_hash):
+            record.state = Lifecycle.QUARANTINED
+            result = AttestResult(False, "hash-mismatch", report, attempts)
+            self._note_attest(result)
+            return result
+        record.firmware_hash = report.firmware_hash
+        record.firmware_version = report.firmware_version
+        record.last_seen = report.cycle
+        record.attest_count += 1
+        record.violation_count = len(report.violation_reasons)
+        record.reset_count = report.reset_count
+        if record.state in (Lifecycle.ENROLLED, Lifecycle.UPDATING):
+            record.state = Lifecycle.ACTIVE
+        result = AttestResult(True, report=report, attempts=attempts)
+        self._note_attest(result)
+        return result
+
+    def offer_update(self, package: UpdatePackage) -> Tuple[Optional[UpdateStatus], int]:
+        """Offer one signed package; returns (status, attempts).
+
+        *status* is None when the device never acked (or acked with a
+        forged MAC); otherwise the device-reported UpdateStatus, with
+        the lost-ack retry case normalised back to APPLIED.
+        """
+        version_before = self.record.firmware_version
+        nonce = self._next_nonce()
+        reply, attempts = self._exchange(
+            MsgKind.UPDATE_OFFER, UpdateOffer(nonce, package),
+            MsgKind.UPDATE_ACK, nonce)
+        if reply is None:
+            return None, attempts
+        if not reply.verify(self.record.key):
+            return None, attempts
+        status = reply.status
+        if (status is UpdateStatus.STALE_VERSION
+                and package.version > version_before
+                and reply.current_version >= package.version):
+            # This offer genuinely advanced the device; the apply landed
+            # on an earlier attempt whose ack the channel ate.  A true
+            # rollback offer (package.version <= our last-known version)
+            # never takes this branch and stays rejected.
+            status = UpdateStatus.APPLIED
+        if status is UpdateStatus.APPLIED:
+            self.record.firmware_version = reply.current_version
+            # The image changed, so the pinned hash is stale; drop it
+            # and let the next attest re-baseline.  (Without this every
+            # healthy device would "hash-mismatch" on its first
+            # post-update heartbeat and quarantine the whole fleet.)
+            self.record.firmware_hash = None
+        return status, attempts
+
+    def _note_attest(self, result: AttestResult):
+        if self.telemetry is not None:
+            self.telemetry.record_attest(self.record.device_id, result)

@@ -1,0 +1,146 @@
+"""Device registry: the verifier's durable view of the fleet.
+
+One :class:`DeviceRecord` per enrolled device: the provisioned
+per-device update key (``UpdateKey.derive``), the platform it claims,
+its security level, the firmware version/hash last attested, and a
+lifecycle state.  The registry never talks to a device itself -- the
+protocol layer reads keys from it and writes observations back, so the
+registry stays a plain data structure that a later PR can persist or
+shard without touching the wire logic.
+
+Lifecycle:
+
+    ENROLLED --attest--> ACTIVE --offer--> UPDATING --ack--> ACTIVE
+                           |                            (or back, on a
+                           +--bad MAC / hash mismatch--> QUARANTINED
+                           +--operator---------------->  RETIRED
+"""
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.casu.update import UpdateKey
+from repro.device import SECURITY_LEVELS
+from repro.errors import ReproError
+
+
+class FleetError(ReproError):
+    """Registry/protocol/campaign-level failure."""
+
+
+class Lifecycle(enum.Enum):
+    ENROLLED = "enrolled"  # key provisioned, no attestation seen yet
+    ACTIVE = "active"  # attested and healthy
+    UPDATING = "updating"  # an update offer is in flight
+    QUARANTINED = "quarantined"  # integrity evidence failed; hands off
+    RETIRED = "retired"  # operator removed it from the fleet
+
+    @property
+    def manageable(self):
+        """States that may receive update offers."""
+        return self in (Lifecycle.ENROLLED, Lifecycle.ACTIVE)
+
+
+@dataclass
+class DeviceRecord:
+    device_id: str
+    key: UpdateKey
+    platform: str
+    security: str
+    state: Lifecycle = Lifecycle.ENROLLED
+    firmware_version: int = 0
+    firmware_hash: Optional[str] = None  # golden hash from enrollment
+    enrolled_at: int = 0  # registry logical time
+    last_seen: Optional[int] = None
+    attest_count: int = 0
+    violation_count: int = 0
+    reset_count: int = 0
+    update_failures: int = 0
+
+    def __str__(self):
+        return (f"{self.device_id} [{self.state.value}] "
+                f"v{self.firmware_version} {self.platform}")
+
+
+class FleetRegistry:
+    """In-memory registry keyed by device id."""
+
+    def __init__(self):
+        self._records: Dict[str, DeviceRecord] = {}
+        self.clock = 0  # logical time, bumped by tick()
+
+    def tick(self) -> int:
+        self.clock += 1
+        return self.clock
+
+    # ---- enrollment ------------------------------------------------------
+
+    def enroll(self, device_id: str, platform="TI MSP430", security="casu",
+               key: Optional[UpdateKey] = None) -> DeviceRecord:
+        if device_id in self._records:
+            raise FleetError(f"device {device_id!r} already enrolled")
+        if security not in SECURITY_LEVELS:
+            raise FleetError(f"security must be one of {SECURITY_LEVELS}")
+        record = DeviceRecord(
+            device_id=device_id,
+            key=key or UpdateKey.derive(device_id),
+            platform=platform,
+            security=security,
+            enrolled_at=self.tick(),
+        )
+        self._records[device_id] = record
+        return record
+
+    # ---- lookup ----------------------------------------------------------
+
+    def get(self, device_id: str) -> DeviceRecord:
+        try:
+            return self._records[device_id]
+        except KeyError:
+            raise FleetError(f"device {device_id!r} is not enrolled") from None
+
+    def __contains__(self, device_id):
+        return device_id in self._records
+
+    def __len__(self):
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[DeviceRecord]:
+        return iter(self._records.values())
+
+    def ids(self) -> List[str]:
+        return list(self._records)
+
+    def by_state(self, state: Lifecycle) -> List[DeviceRecord]:
+        return [r for r in self if r.state is state]
+
+    def manageable_ids(self) -> List[str]:
+        return [r.device_id for r in self if r.state.manageable]
+
+    # ---- state transitions ----------------------------------------------
+
+    def quarantine(self, device_id: str):
+        self.get(device_id).state = Lifecycle.QUARANTINED
+
+    def retire(self, device_id: str):
+        self.get(device_id).state = Lifecycle.RETIRED
+
+    # ---- aggregates ------------------------------------------------------
+
+    def state_histogram(self) -> Counter:
+        return Counter(r.state.value for r in self)
+
+    def version_histogram(self) -> Counter:
+        return Counter(r.firmware_version for r in self)
+
+    def summary(self) -> dict:
+        return {
+            "devices": len(self),
+            "states": dict(self.state_histogram()),
+            "versions": dict(self.version_histogram()),
+            "violations": sum(r.violation_count for r in self),
+            "resets": sum(r.reset_count for r in self),
+            "update_failures": sum(r.update_failures for r in self),
+        }

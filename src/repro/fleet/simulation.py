@@ -1,0 +1,206 @@
+"""N simulated EILID devices plus the verifier that manages them.
+
+:class:`FleetSimulation` is the one-stop harness behind ``fleet``
+CLI commands, the demo, the benchmarks and the tests: it builds the
+device firmware ONCE (the whole fleet shares the immutable program
+image, each device gets its own bus/CPU/monitor and its own derived
+key), enrolls every device over the simulated transport, and exposes
+attestation sweeps and staged rollout campaigns.
+
+Adversarial knobs used by tests and the demo:
+
+* ``tamper_fraction``  -- that share of devices receives a payload-
+  flipped package (models a man-in-the-middle on their links); the
+  device-side MAC check must reject every one.
+* ``rollback_fraction`` -- that share receives a correctly signed but
+  stale-version package (models a replay/downgrade attempt); the
+  device-side monotonic version check must reject every one.
+* ``corrupt_firmware`` -- backdoor-flips a word of one device's PMEM
+  and lets it run into the fault (models physical tamper/bitrot); the
+  next heartbeat shows the violation log and the hash mismatch
+  quarantines the device.
+"""
+
+import functools
+from typing import Dict, List, Optional, Sequence
+
+from repro.casu.update import UpdateKey, UpdatePackage
+from repro.device import Device, build_device
+from repro.eilid.iterbuild import IterativeBuild
+from repro.fleet.campaign import CampaignConfig, CampaignReport, RolloutCampaign
+from repro.fleet.protocol import AttestResult, DeviceAgent, VerifierSession
+from repro.fleet.registry import DeviceRecord, FleetError, FleetRegistry
+from repro.fleet.telemetry import FleetTelemetry
+from repro.fleet.transport import Transport
+
+# A fleet node's firmware: report a reading, signal DONE, idle.
+FLEET_APP = """
+    .text
+    .global main
+main:
+    mov #42, &0x0200
+    mov #1, &0x0070
+idle:
+    jmp idle
+"""
+
+UPDATE_TARGET = 0xE800  # free PMEM past the tiny resident app
+
+
+@functools.lru_cache(maxsize=None)
+def _fleet_build():
+    """Build the shared firmware image once per process."""
+    from repro.toolchain.build import SourceModule
+
+    builder = IterativeBuild()
+    modules = [
+        SourceModule("crt0.s", builder.trusted.crt0_source(eilid_enabled=False)),
+        SourceModule("app.s", FLEET_APP, is_app=True),
+        SourceModule("eilid_rom.s", builder.trusted.rom_source()),
+    ]
+    return builder.pipeline.build(modules, name="fleet-node")
+
+
+def default_payload(version: int, words=8) -> bytes:
+    """A recognisable per-version payload (word-aligned)."""
+    return b"".join(
+        ((version * 0x0100 + index) & 0xFFFF).to_bytes(2, "little")
+        for index in range(words)
+    )
+
+
+class FleetSimulation:
+    """A registry, a transport, and one real Device per enrolled id."""
+
+    def __init__(self, size=0, security="casu", platform="TI MSP430",
+                 loss=0.0, reorder=0.0, seed=0, max_attempts=4):
+        if size < 0:
+            raise ValueError("fleet size must be >= 0")
+        self.security = security
+        self.platform = platform
+        self.max_attempts = max_attempts
+        self.registry = FleetRegistry()
+        self.transport = Transport(loss=loss, reorder=reorder, seed=seed)
+        self.telemetry = FleetTelemetry()
+        self.devices: Dict[str, Device] = {}
+        self.agents: Dict[str, DeviceAgent] = {}
+        self._sessions: Dict[str, VerifierSession] = {}
+        if size:
+            self.enroll_many(size)
+
+    # ---- enrollment ------------------------------------------------------
+
+    def enroll(self, device_id: str) -> AttestResult:
+        """Provision one device and run the enrollment handshake."""
+        record = self.registry.enroll(device_id, platform=self.platform,
+                                      security=self.security)
+        device = build_device(_fleet_build().program, security=self.security,
+                              update_key=record.key)
+        link = self.transport.link(device_id)
+        self.devices[device_id] = device
+        self.agents[device_id] = DeviceAgent(device_id, device, link)
+        return self.session(device_id).enroll()
+
+    def enroll_many(self, count: int, prefix="dev") -> List[AttestResult]:
+        start = len(self.registry)
+        return [self.enroll(f"{prefix}-{start + index:05d}")
+                for index in range(count)]
+
+    # ---- verifier plumbing -----------------------------------------------
+
+    def session(self, device_id: str) -> VerifierSession:
+        session = self._sessions.get(device_id)
+        if session is None:
+            if device_id not in self.agents:
+                raise FleetError(f"no simulated device for {device_id!r}")
+            session = VerifierSession(
+                self.registry.get(device_id), self.agents[device_id],
+                self.transport.link(device_id), telemetry=self.telemetry,
+                max_attempts=self.max_attempts)
+            self._sessions[device_id] = session
+        return session
+
+    # ---- fleet operations ------------------------------------------------
+
+    def attest_all(self, device_ids: Optional[Sequence[str]] = None
+                   ) -> Dict[str, AttestResult]:
+        """One heartbeat sweep; results also land in the telemetry."""
+        ids = device_ids if device_ids is not None else self.registry.ids()
+        return {device_id: self.session(device_id).attest()
+                for device_id in ids}
+
+    def run_all(self, max_cycles=2_000):
+        """Let every device execute its resident app for a while."""
+        for device in self.devices.values():
+            device.run(max_cycles=max_cycles, stop_on_done=True)
+
+    def package_factory(self, version: int, payload: Optional[bytes] = None,
+                        tamper_ids: Sequence[str] = (),
+                        rollback_ids: Sequence[str] = ()):
+        """Per-device package maker with optional adversarial subsets."""
+        payload = payload if payload is not None else default_payload(version)
+        tampered = frozenset(tamper_ids)
+        rolled_back = frozenset(rollback_ids)
+
+        def make(record: DeviceRecord) -> UpdatePackage:
+            if record.device_id in rolled_back:
+                # Correctly signed, but a version the device already has:
+                # the monotonic counter must reject it.
+                return UpdatePackage.make(record.key, UPDATE_TARGET, payload,
+                                          record.firmware_version)
+            package = UpdatePackage.make(record.key, UPDATE_TARGET, payload,
+                                         version)
+            if record.device_id in tampered:
+                return package.tampered()
+            return package
+
+        return make
+
+    def adversarial_ids(self, fraction: float, phase=0.5) -> List[str]:
+        """An evenly spread *fraction* of the fleet (deterministic).
+
+        Even spreading keeps every wave's bad-device share equal to the
+        global fraction, so threshold semantics are exact in tests.
+        """
+        ids = self.registry.manageable_ids()  # the ids campaigns offer to
+        count = round(len(ids) * fraction)
+        if count <= 0:
+            return []
+        stride = len(ids) / count
+        return [ids[min(len(ids) - 1, int((index + phase) * stride))]
+                for index in range(count)]
+
+    def rollout(self, version: int, payload: Optional[bytes] = None,
+                config: Optional[CampaignConfig] = None,
+                tamper_fraction=0.0, rollback_fraction=0.0) -> CampaignReport:
+        """Run one staged campaign across the manageable fleet."""
+        tamper_ids = self.adversarial_ids(tamper_fraction, phase=0.25)
+        rollback_ids = [device_id
+                        for device_id in self.adversarial_ids(
+                            rollback_fraction, phase=0.75)
+                        if device_id not in set(tamper_ids)]
+        campaign = RolloutCampaign(
+            self.registry,
+            session_factory=self.session,
+            package_factory=self.package_factory(
+                version, payload, tamper_ids, rollback_ids),
+            target_version=version,
+            config=config,
+            telemetry=self.telemetry,
+        )
+        return campaign.run()
+
+    # ---- fault injection -------------------------------------------------
+
+    def corrupt_firmware(self, device_id: str, max_cycles=2_000):
+        """Flip the first word of the resident app and run into the fault."""
+        device = self.devices[device_id]
+        main = device.symbol("main")
+        device.bus.load_bytes(main, b"\x00\x00")  # illegal opcode
+        device.hard_reset()
+        device.run(max_cycles=max_cycles, stop_on_done=False)
+
+    # ---- reporting -------------------------------------------------------
+
+    def status(self) -> str:
+        return self.telemetry.render(self.registry)

@@ -1,0 +1,112 @@
+"""Fleet-level telemetry: fold per-device evidence into aggregates.
+
+Devices report :class:`~repro.casu.monitor.Violation` reasons inside
+their attestation reports; campaigns report per-device update
+outcomes; the transport reports channel counters.  This module folds
+all of it into counters and histograms, rendered through the same
+:mod:`repro.eval.report` helpers the paper tables use, so ``fleet
+status`` output sits next to Table IV output without a new renderer.
+"""
+
+import threading
+from collections import Counter
+from typing import Optional
+
+from repro.casu.update import UpdateStatus
+from repro.eval.report import render_bars, render_table
+
+
+class FleetTelemetry:
+    """Thread-safe aggregation (campaign workers feed it in parallel)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.violations = Counter()  # ViolationReason.value -> count
+        self.update_statuses = Counter()  # UpdateStatus.value / "unreachable"
+        self.attest_outcomes = Counter()  # "ok" / "unreachable" / ...
+        self.attempt_histogram = Counter()  # round-trip attempts -> count
+        self.resets = 0
+        self.attestations = 0
+        # Reports carry the device's full history; fold only the part
+        # we have not seen from that device yet.
+        self._seen = {}  # device_id -> (violations_seen, resets_seen)
+
+    # ---- ingestion -------------------------------------------------------
+
+    def record_attest(self, device_id: str, result):
+        """Fold one AttestResult (protocol calls this per heartbeat)."""
+        with self._lock:
+            self.attestations += 1
+            self.attest_outcomes[result.detail or "ok"] += 1
+            self.attempt_histogram[result.attempts] += 1
+            if result.report is not None:
+                report = result.report
+                seen_violations, seen_resets = self._seen.get(device_id, (0, 0))
+                self.violations.update(report.violation_reasons[seen_violations:])
+                self.resets += max(0, report.reset_count - seen_resets)
+                self._seen[device_id] = (len(report.violation_reasons),
+                                         report.reset_count)
+
+    def record_update(self, device_id: str, status: Optional[UpdateStatus],
+                      attempts: int):
+        with self._lock:
+            self.update_statuses[status.value if status else "unreachable"] += 1
+            self.attempt_histogram[attempts] += 1
+
+    # ---- aggregates ------------------------------------------------------
+
+    def rejection_count(self) -> int:
+        """Every non-applied outcome, including unreachable devices."""
+        return sum(count for status, count in self.update_statuses.items()
+                   if status != UpdateStatus.APPLIED.value)
+
+    def device_rejection_count(self) -> int:
+        """Rejections issued by the device's own ROM checks (MAC/version)."""
+        by_value = {status.value: status for status in UpdateStatus}
+        return sum(count for value, count in self.update_statuses.items()
+                   if value in by_value and by_value[value].rejected)
+
+    def as_dict(self) -> dict:
+        return {
+            "attestations": self.attestations,
+            "attest_outcomes": dict(self.attest_outcomes),
+            "update_statuses": dict(self.update_statuses),
+            "violations": dict(self.violations),
+            "resets": self.resets,
+            "attempts": dict(self.attempt_histogram),
+        }
+
+    # ---- rendering -------------------------------------------------------
+
+    def render(self, registry=None) -> str:
+        blocks = []
+        if registry is not None:
+            summary = registry.summary()
+            rows = [(state, count) for state, count in
+                    sorted(summary["states"].items())]
+            blocks.append(render_table(
+                ("state", "devices"), rows,
+                title=f"fleet of {summary['devices']} devices"))
+            versions = sorted(registry.version_histogram().items())
+            if versions:
+                blocks.append(render_bars(
+                    [f"v{version}" for version, _ in versions],
+                    [count for _, count in versions],
+                    title="firmware versions"))
+        if self.update_statuses:
+            rows = sorted(self.update_statuses.items())
+            blocks.append(render_table(("update status", "count"), rows,
+                                       title="update outcomes"))
+        if self.attest_outcomes:
+            rows = sorted(self.attest_outcomes.items())
+            blocks.append(render_table(("attest outcome", "count"), rows,
+                                       title=f"attestations ({self.attestations})"))
+        if self.violations:
+            reasons = sorted(self.violations.items())
+            blocks.append(render_bars(
+                [reason for reason, _ in reasons],
+                [count for _, count in reasons],
+                title="monitor violations by reason"))
+        if not blocks:
+            return "no telemetry recorded"
+        return "\n\n".join(blocks)
