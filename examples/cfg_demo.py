@@ -1,0 +1,64 @@
+"""Trace attestation end to end, in one sitting.
+
+1. Build the fire-sensor app (EILID variant), recover its CFG from the
+   *linked binary* and compile the CFI policy artifact.
+2. Cross-check the binary-derived policy against the instrumenter's
+   listing-derived view (the Fig. 2 contract).
+3. Run the app and replay its recorded branch trace -- benign evidence
+   replays clean.
+4. Launch the same attacks the paper defends against at an undefended
+   baseline device and watch the *verifier* catch each one from the
+   trace alone.
+
+Run with:  PYTHONPATH=src python examples/cfg_demo.py
+"""
+
+from repro.apps.registry import APPS
+from repro.apps.runtime import build_app, run_app
+from repro.attacks import (
+    code_injection,
+    interrupt_context_tamper,
+    pointer_hijack,
+    return_address_smash,
+)
+from repro.cfg import diff_against_listing, policy_for_program, recover_cfg, replay_trace
+from repro.eilid.iterbuild import IterativeBuild
+
+
+def main():
+    builder = IterativeBuild()
+    spec = APPS["fire_sensor"]
+
+    print("== 1. recover the CFG from the linked binary ==")
+    build = build_app(spec, "eilid", builder)
+    cfg = recover_cfg(build.program)
+    policy = policy_for_program(build.program)
+    print(f"{cfg.name}: {len(cfg.insns)} instructions, "
+          f"{len(cfg.functions)} functions, {cfg.block_count} basic blocks")
+    print(f"indirect-call table (recovered from the binary): "
+          + ", ".join(f"0x{addr:04x}" for addr in cfg.indirect_targets))
+    print(f"policy digest: {policy.digest[:16]}...")
+
+    print("\n== 2. cross-check against the listing-derived view ==")
+    divergences = diff_against_listing(policy, build.listing)
+    print("divergences:", divergences if divergences else "none -- views agree")
+
+    print("\n== 3. benign run replays clean ==")
+    run = run_app(spec, "eilid", builder)
+    snapshot = run.device.trace_snapshot()
+    print(f"recorded {snapshot.total} edges ({snapshot.dropped} dropped), "
+          f"digest {snapshot.digest_hex}")
+    print(replay_trace(policy, snapshot))
+
+    print("\n== 4. the verifier catches what an undefended device misses ==")
+    for attack in (return_address_smash, pointer_hijack,
+                   code_injection, interrupt_context_tamper):
+        result = attack("none")  # baseline: the hijack actually executes
+        victim_policy = policy_for_program(result.device.program)
+        verdict = replay_trace(victim_policy, result.device.trace_snapshot())
+        print(f"{result.name:26s} device: {result.outcome.value:9s} "
+              f"verifier: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

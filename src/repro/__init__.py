@@ -6,9 +6,12 @@ assembler/linker toolchain, a mini-C compiler, the CASU active
 root-of-trust (hardware monitor + authenticated update), the EILID
 instrumenter / trusted runtime / secure shadow stack, the paper's seven
 evaluation applications, an attack suite, a verification layer
-(model-checked monitor properties + runtime control-flow oracles), and
-a fleet subsystem (:mod:`repro.fleet`) that enrolls, attests and
-updates thousands of simulated devices from the verifier side.
+(model-checked monitor properties + runtime control-flow oracles), a
+binary control-flow analysis and trace-attestation layer
+(:mod:`repro.cfg`: CFG recovery from linked images, CFI-policy
+compilation, branch-trace replay), and a fleet subsystem
+(:mod:`repro.fleet`) that enrolls, attests and updates thousands of
+simulated devices from the verifier side.
 
 Quickstart::
 
@@ -25,6 +28,32 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
-__version__ = "1.0.0"
+def _read_version() -> str:
+    """Single-source the version from pyproject.toml.
+
+    A source checkout (PYTHONPATH=src) reads the adjacent
+    pyproject.toml directly; an installed package falls back to its
+    distribution metadata.
+    """
+    import pathlib
+    import re
+
+    pyproject = pathlib.Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        match = re.search(r'^version\s*=\s*"([^"]+)"',
+                          pyproject.read_text(), re.MULTILINE)
+        if match:
+            return match.group(1)
+    except OSError:
+        pass
+    try:
+        from importlib.metadata import version
+
+        return version("eilid-repro")
+    except Exception:
+        return "0+unknown"
+
+
+__version__ = _read_version()
 
 __all__ = ["__version__"]

@@ -22,6 +22,9 @@ class AttackResult:
     outcome: AttackOutcome
     violations: List[Violation] = field(default_factory=list)
     detail: str = ""
+    # The attacked device, so verifier-side analyses (trace replay in
+    # repro.cfg) can inspect the evidence the attack left behind.
+    device: Optional[object] = field(default=None, repr=False)
 
     @property
     def defended(self):
@@ -78,4 +81,5 @@ class AttackHarness:
             outcome=outcome,
             violations=result.violations,
             detail=corruption_detail,
+            device=self.device,
         )

@@ -65,10 +65,12 @@ def _run_raw_asm(source, security, link_eilid_runtime=True):
 def _classify_raw(name, security, device, succeeded_detail):
     result = device.run(max_cycles=100_000)
     if result.violations:
-        return AttackResult(name, security, AttackOutcome.RESET, result.violations)
+        return AttackResult(name, security, AttackOutcome.RESET, result.violations,
+                            device=device)
     if result.done:
-        return AttackResult(name, security, AttackOutcome.HIJACKED, detail=succeeded_detail)
-    return AttackResult(name, security, AttackOutcome.NO_EFFECT)
+        return AttackResult(name, security, AttackOutcome.HIJACKED,
+                            detail=succeeded_detail, device=device)
+    return AttackResult(name, security, AttackOutcome.NO_EFFECT, device=device)
 
 
 def pmem_overwrite(security: str) -> AttackResult:

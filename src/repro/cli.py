@@ -12,6 +12,9 @@ Commands:
 * ``verify`` -- model-check the monitor properties.
 * ``fleet enroll|status|rollout`` -- simulate a verifier managing a
   population of devices (see :mod:`repro.fleet`).
+* ``cfg build|diff|verify-trace`` -- binary CFG recovery, CFI-policy
+  compilation/cross-check, and branch-trace replay
+  (see :mod:`repro.cfg`).
 
 Exit codes (consistent across subcommands):
 
@@ -111,6 +114,103 @@ def _cmd_verify(_args):
     return EXIT_SECURITY if failures else EXIT_OK
 
 
+# ---- cfg -------------------------------------------------------------------
+
+
+def _cfg_build_app(args):
+    """Shared front half of the cfg commands: build + recover + compile."""
+    from repro.apps import get_app
+    from repro.apps.runtime import build_app
+    from repro.cfg import compile_policy, recover_cfg
+
+    try:
+        spec = get_app(args.name)
+    except KeyError:
+        from repro.apps.registry import TABLE_IV_ORDER
+
+        raise _UsageError(
+            f"unknown app {args.name!r}; choose from: "
+            + ", ".join(TABLE_IV_ORDER)) from None
+    build = build_app(spec, variant=args.variant)
+    cfg = recover_cfg(build.program)
+    policy = compile_policy(cfg, symbols=build.program.symbols)
+    return spec, build, cfg, policy
+
+
+def _cmd_cfg_build(args):
+    _spec, _build, cfg, policy = _cfg_build_app(args)
+    if args.json:
+        print(policy.to_json())
+        return EXIT_OK
+    print(f"{cfg.name}: {len(cfg.insns)} instructions, "
+          f"{len(cfg.functions)} functions, {cfg.block_count} blocks")
+    print(f"  call sites: {len(cfg.call_sites)} "
+          f"({sum(1 for s in cfg.call_sites if s.target is None)} indirect)")
+    print(f"  return sites: {len(cfg.return_sites)}")
+    source = "EILID call table" if cfg.indirect_targets_registered \
+        else "discovered entries"
+    print(f"  indirect targets ({source}): "
+          + ", ".join(f"0x{a:04x}" for a in cfg.indirect_targets))
+    print(f"  ISR vectors: {len([v for v in cfg.vectors if v != 15])}, "
+          f"reti sites: {len(cfg.reti_sites)}")
+    print(f"  policy digest: {policy.digest}")
+    for func in cfg.functions.values():
+        callees = sorted(cfg.call_graph.get(func.name, ()))
+        arrow = f" -> {', '.join(callees)}" if callees else ""
+        print(f"    {func.name} @0x{func.entry:04x} "
+              f"[{func.block_count} blocks]{arrow}")
+    return EXIT_OK
+
+
+def _cmd_cfg_diff(args):
+    spec, build, _cfg, policy = _cfg_build_app(args)
+    from repro.cfg import diff_against_listing
+
+    divergences = diff_against_listing(policy, build.listing)
+    if not divergences:
+        print(f"{spec.name} ({args.variant}): binary-derived policy matches "
+              f"the listing-derived view "
+              f"({len(policy.return_sites)} return sites, "
+              f"{len(policy.indirect_targets)} indirect targets)")
+        return EXIT_OK
+    print(f"{spec.name} ({args.variant}): {len(divergences)} divergence(s):")
+    for line in divergences:
+        print(f"  {line}")
+    return EXIT_SECURITY
+
+
+def _cmd_cfg_verify_trace(args):
+    from repro.cfg import policy_for_program, replay_trace
+
+    if args.attack:
+        import repro.attacks as attacks
+
+        attack = getattr(attacks, args.attack, None)
+        if attack is None:
+            raise _UsageError(f"unknown attack {args.attack!r}")
+        result = attack(args.security)
+        device = result.device
+        print(result)
+    else:
+        from repro.apps import get_app, run_app
+
+        try:
+            spec = get_app(args.name)
+        except KeyError:
+            raise _UsageError(f"unknown app {args.name!r}") from None
+        run = run_app(spec, variant=args.variant)
+        device = run.device
+        print(f"{spec.title} ({args.variant}): done={run.done} "
+              f"cycles={run.cycles}")
+    policy = policy_for_program(device.program)
+    snapshot = device.trace_snapshot()
+    verdict = replay_trace(policy, snapshot)
+    print(f"trace: {snapshot.total} edges ({snapshot.dropped} dropped), "
+          f"digest {snapshot.digest_hex}")
+    print(verdict)
+    return EXIT_OK if verdict.ok else EXIT_SECURITY
+
+
 # ---- fleet -----------------------------------------------------------------
 
 
@@ -187,7 +287,11 @@ class _Parser(argparse.ArgumentParser):
 
 
 def main(argv=None):
+    import repro
+
     parser = _Parser(prog="eilid", description=__doc__)
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {repro.__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_tables = sub.add_parser("tables", help="regenerate paper tables")
@@ -213,6 +317,37 @@ def main(argv=None):
 
     p_verify = sub.add_parser("verify", help="model-check the monitor properties")
     p_verify.set_defaults(func=_cmd_verify)
+
+    p_cfg = sub.add_parser("cfg", help="binary CFG recovery + trace attestation")
+    cfg_sub = p_cfg.add_subparsers(dest="cfg_command", required=True)
+
+    def cfg_common(p):
+        p.add_argument("name", nargs="?", default="fire_sensor",
+                       help="Table IV application name")
+        p.add_argument("--variant", choices=("original", "eilid"),
+                       default="eilid")
+
+    p_cfg_build = cfg_sub.add_parser(
+        "build", help="recover the CFG and compile its CFI policy")
+    cfg_common(p_cfg_build)
+    p_cfg_build.add_argument("--json", action="store_true",
+                             help="emit the policy artifact as JSON")
+    p_cfg_build.set_defaults(func=_cmd_cfg_build)
+
+    p_cfg_diff = cfg_sub.add_parser(
+        "diff", help="cross-check the binary policy against the listing view")
+    cfg_common(p_cfg_diff)
+    p_cfg_diff.set_defaults(func=_cmd_cfg_diff)
+
+    p_cfg_verify = cfg_sub.add_parser(
+        "verify-trace", help="run an app or attack and replay its branch trace")
+    cfg_common(p_cfg_verify)
+    p_cfg_verify.add_argument("--attack", default=None,
+                              help="replay an attack scenario's trace instead")
+    p_cfg_verify.add_argument("--security", choices=("none", "casu", "eilid"),
+                              default="none",
+                              help="device security level for --attack runs")
+    p_cfg_verify.set_defaults(func=_cmd_cfg_verify_trace)
 
     p_fleet = sub.add_parser("fleet", help="simulate a managed device fleet")
     fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)

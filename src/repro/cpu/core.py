@@ -76,6 +76,11 @@ class Cpu:
         # PC, pending interrupts are *deferred* (EILID keeps IRQs out of
         # the secure ROM to preserve atomicity).  Installed by the device.
         self.irq_deferred_at = lambda pc: False
+        # Branch-trace tap: an object with .observe(StepRecord), called
+        # for every architectural event (the EILID trace-attestation
+        # recorder).  Installed by the device; None keeps the hot path
+        # free of the extra call.
+        self.trace_sink = None
 
     # ---- register helpers -------------------------------------------------
 
@@ -171,7 +176,7 @@ class Cpu:
         cycles = instruction_cycles(insn)
         self.total_cycles += cycles
         self.instruction_count += 1
-        return StepRecord(
+        record = StepRecord(
             kind=StepKind.INSTRUCTION,
             pc=pc_before,
             next_pc=self.pc,
@@ -179,6 +184,9 @@ class Cpu:
             accesses=self.bus.drain_trace(),
             insn=insn,
         )
+        if self.trace_sink is not None:
+            self.trace_sink.observe(record)
+        return record
 
     def _should_take_interrupt(self, pc):
         if self.ic is None or not self.gie:
@@ -197,7 +205,7 @@ class Cpu:
         handler = self.bus.read_word(self.bus.layout.vector_address(vector))
         self.pc = handler
         self.total_cycles += INTERRUPT_CYCLES
-        return StepRecord(
+        record = StepRecord(
             kind=StepKind.INTERRUPT,
             pc=pc_before,
             next_pc=self.pc,
@@ -205,6 +213,9 @@ class Cpu:
             accesses=self.bus.drain_trace(),
             vector=vector,
         )
+        if self.trace_sink is not None:
+            self.trace_sink.observe(record)
+        return record
 
     # ---- operand access -----------------------------------------------------
 

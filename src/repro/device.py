@@ -14,10 +14,12 @@ triggers a reset".
 """
 
 import hashlib
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.casu.monitor import HardwareMonitor, MonitorPolicy, Violation
+from repro.cfg.trace import BranchTraceRecorder, TraceSnapshot, empty_snapshot
 from repro.casu.update import (
     STAGING_HEADER_WORDS,
     UpdateEngine,
@@ -76,8 +78,16 @@ class RunResult:
 
 
 class Device:
+    # Bounds for the unbatched evidence logs: million-step fleet sims
+    # must not balloon memory, so both the event log and the branch
+    # trace are rings with explicit drop counters.
+    DEFAULT_MAX_EVENTS = 1024
+    DEFAULT_TRACE_CAPACITY = 4096
+
     def __init__(self, program, security="none", peripherals=None,
-                 update_key: Optional[UpdateKey] = None):
+                 update_key: Optional[UpdateKey] = None,
+                 max_events: Optional[int] = None,
+                 trace_capacity: Optional[int] = None):
         if security not in SECURITY_LEVELS:
             raise ValueError(f"security must be one of {SECURITY_LEVELS}")
         self.program = program
@@ -110,7 +120,23 @@ class Device:
                 self.cpu.irq_deferred_at = self.layout.in_secure_rom
 
         self.update_engine = UpdateEngine(update_key or UpdateKey.derive(program.name))
-        self.events: List[DeviceEvent] = []
+        self.max_events = self.DEFAULT_MAX_EVENTS if max_events is None else max_events
+        if self.max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.events = deque(maxlen=self.max_events)
+        self.events_dropped = 0
+        # Cumulative counters survive event-ring eviction, so fleet
+        # telemetry keeps exact totals on long-running devices.
+        self.violation_count = 0
+        self.violation_totals: Dict[str, int] = {}
+        # trace_capacity=0 disables recording entirely (leaves the CPU
+        # hot path without the per-step observe call); None = default.
+        if trace_capacity == 0:
+            self.trace = None
+        else:
+            self.trace = BranchTraceRecorder(
+                capacity=trace_capacity or self.DEFAULT_TRACE_CAPACITY)
+            self.cpu.trace_sink = self.trace
         self.cycle = 0
         self.reset_count = 0
 
@@ -134,6 +160,18 @@ class Device:
     def violations(self):
         return [e.violation for e in self.events if e.kind == "violation"]
 
+    def _log_event(self, event: DeviceEvent):
+        """Append to the bounded event ring, counting evictions."""
+        if len(self.events) == self.max_events:
+            self.events_dropped += 1
+        self.events.append(event)
+
+    def trace_snapshot(self) -> TraceSnapshot:
+        """The branch-trace evidence attached to attestation replies."""
+        if self.trace is None:
+            return empty_snapshot()
+        return self.trace.snapshot()
+
     def firmware_measurement(self) -> str:
         """SHA-256 over PMEM + IVT, the device's software identity."""
         start = self.layout.pmem.start
@@ -147,12 +185,25 @@ class Device:
         note: crypto runs natively, the guarded state it measures is
         the simulated one).  Consumed by :mod:`repro.fleet.protocol`.
         """
+        # The RoT reads the trace hardware directly -- NOT through the
+        # overridable trace_snapshot() accessor the (untrusted) agent
+        # uses -- so the MAC'd counters stay honest even when the OS
+        # ships a doctored window.
+        snapshot = (self.trace.snapshot() if self.trace is not None
+                    else empty_snapshot())
         return AttestationReport(
             firmware_hash=self.firmware_measurement(),
             firmware_version=self.update_engine.current_version,
             reset_count=self.reset_count,
             violation_reasons=tuple(v.reason.value for v in self.violations),
             cycle=self.cycle,
+            violation_count=self.violation_count,
+            violation_totals=tuple(
+                f"{reason}={count}"
+                for reason, count in sorted(self.violation_totals.items())),
+            trace_digest=snapshot.digest_hex,
+            trace_edges=snapshot.total,
+            trace_dropped=snapshot.dropped,
         )
 
     # ---- stepping ----------------------------------------------------------------
@@ -188,13 +239,16 @@ class Device:
             self.cpu.regs = regs_before
             for name, peripheral in self.peripherals.items():
                 peripheral.rollback_logs(log_marks[name])
-            self.events.append(DeviceEvent("violation", self.cycle, violation))
+            self.violation_count += 1
+            reason = violation.reason.value
+            self.violation_totals[reason] = self.violation_totals.get(reason, 0) + 1
+            self._log_event(DeviceEvent("violation", self.cycle, violation))
             self.hard_reset()
         return record, violation
 
     def hard_reset(self):
         self.reset_count += 1
-        self.events.append(DeviceEvent("reset", self.cycle))
+        self._log_event(DeviceEvent("reset", self.cycle))
         self.cpu.reset()
         self.ic.clear_all()
         if self.monitor is not None:
@@ -300,6 +354,12 @@ class Device:
         return result
 
 
-def build_device(program, security="none", peripherals=None, update_key=None) -> Device:
-    """Factory mirroring the three rows of the DESIGN.md attack matrix."""
-    return Device(program, security=security, peripherals=peripherals, update_key=update_key)
+def build_device(program, security="none", peripherals=None, update_key=None,
+                 **limits) -> Device:
+    """Factory mirroring the three rows of the DESIGN.md attack matrix.
+
+    *limits* forwards the evidence bounds (``max_events``,
+    ``trace_capacity``) to the device.
+    """
+    return Device(program, security=security, peripherals=peripherals,
+                  update_key=update_key, **limits)

@@ -57,6 +57,11 @@ ATTESTATION_FIELDS = (
     "reset_count",
     "violation_reasons",
     "cycle",
+    "violation_count",
+    "violation_totals",
+    "trace_digest",
+    "trace_edges",
+    "trace_dropped",
 )
 
 
@@ -74,8 +79,19 @@ class AttestationReport:
     firmware_hash: str  # SHA-256 over PMEM+IVT, hex
     firmware_version: int  # UpdateEngine's monotonic counter
     reset_count: int
-    violation_reasons: Tuple[str, ...]  # ViolationReason values, in order
+    violation_reasons: Tuple[str, ...]  # recent window (device log is a ring)
     cycle: int  # device-local logical time
+    # Cumulative violation counters: unlike the bounded reasons window
+    # these never lose history, so verifier telemetry can delta-fold
+    # them exactly on long-running devices.
+    violation_count: int = 0
+    violation_totals: Tuple[str, ...] = ()  # "reason=count", sorted
+    # Branch-trace attestation (repro.cfg): the rolling digest binds the
+    # (unauthenticated) edge window the agent ships alongside this
+    # report -- a forged window no longer folds to the MAC'd digest.
+    trace_digest: str = ""
+    trace_edges: int = 0
+    trace_dropped: int = 0
 
     def message(self) -> bytes:
         """Canonical byte encoding (the MAC'd attestation evidence)."""

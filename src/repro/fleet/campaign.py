@@ -43,6 +43,11 @@ class CampaignConfig:
     max_attempts: int = 4  # per-message transport retries
     workers: int = 0  # 0 -> min(8, cpu count)
     batch_size: int = 32  # devices per worker task
+    # Post-wave verification: attest every device the wave updated
+    # before moving on.  With a trace-verifying session this is where
+    # forged or non-replaying branch traces quarantine a device; the
+    # failures count toward the wave's halt threshold.
+    verify_after_wave: bool = False
 
     def __post_init__(self):
         fractions = tuple(self.wave_fractions)
@@ -227,7 +232,28 @@ class RolloutCampaign:
                 result.applied += 1
             else:
                 result.failed += 1
+        if self.config.verify_after_wave:
+            self._verify_wave(result, outcomes)
         return result
+
+    def _verify_wave(self, result: WaveResult, outcomes: List[DeviceOutcome]):
+        """Attest each applied device; demote verification failures.
+
+        The attest runs on the main thread over the already-created
+        sessions; a failed verification (bad MAC, hash mismatch,
+        forged or non-replaying branch trace) flips the device from
+        the wave's applied column into its failed column -- counted
+        against the halt threshold like any other wave failure.
+        """
+        for outcome in outcomes:
+            if not outcome.applied:
+                continue
+            attest = self.session_factory(outcome.device_id).attest()
+            if attest.ok:
+                continue
+            result.applied -= 1
+            result.failed += 1
+            result.statuses[f"verify:{attest.detail}"] += 1
 
     def _run_batch(self, batch: List[str]) -> List[DeviceOutcome]:
         """Worker task: one batch of devices, conversations end to end."""

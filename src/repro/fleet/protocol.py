@@ -66,12 +66,16 @@ class SignedReport:
     nonce: int
     report: AttestationReport
     mac: bytes
+    # Branch-trace evidence (repro.cfg.trace.TraceSnapshot).  NOT part
+    # of the MAC: the report's trace_digest field -- which IS MAC'd --
+    # binds it, so the verifier re-folds the window and compares.
+    trace: Optional[object] = None
 
     @staticmethod
-    def make(key, tag, device_id, nonce, report):
+    def make(key, tag, device_id, nonce, report, trace=None):
         mac = _mac(key, tag, device_id.encode(),
                    nonce.to_bytes(8, "little"), report.message())
-        return SignedReport(device_id, nonce, report, mac)
+        return SignedReport(device_id, nonce, report, mac, trace)
 
     def verify(self, key, tag) -> bool:
         expected = _mac(key, tag, self.device_id.encode(),
@@ -138,11 +142,13 @@ class DeviceAgent:
         body = envelope.body
         if kind is MsgKind.ENROLL_REQ:
             reply = SignedReport.make(self.key, b"enroll", self.device_id,
-                                      body.nonce, self.device.attestation_report())
+                                      body.nonce, self.device.attestation_report(),
+                                      trace=self.device.trace_snapshot())
             self._send(MsgKind.ENROLL_ACK, reply)
         elif kind is MsgKind.ATTEST_REQ:
             reply = SignedReport.make(self.key, b"attest", self.device_id,
-                                      body.nonce, self.device.attestation_report())
+                                      body.nonce, self.device.attestation_report(),
+                                      trace=self.device.trace_snapshot())
             self._send(MsgKind.ATTEST_REPORT, reply)
         elif kind is MsgKind.UPDATE_OFFER:
             result = self.device.apply_update(body.package)
@@ -174,12 +180,15 @@ class VerifierSession:
     """
 
     def __init__(self, record: DeviceRecord, agent: DeviceAgent, link: Link,
-                 telemetry=None, max_attempts=4):
+                 telemetry=None, max_attempts=4, policy=None):
         self.record = record
         self.agent = agent
         self.link = link
         self.telemetry = telemetry
         self.max_attempts = max_attempts
+        # Optional repro.cfg.CfiPolicy: when set, attest() additionally
+        # authenticates and replays the device's branch trace.
+        self.policy = policy
         self._nonce = 0
 
     # ---- plumbing --------------------------------------------------------
@@ -238,6 +247,12 @@ class VerifierSession:
             result = AttestResult(False, "bad-mac", attempts=attempts)
             self._note_attest(result)
             return result
+        trace_problem = self._check_trace(reply)
+        if trace_problem is not None:
+            self.record.state = Lifecycle.QUARANTINED
+            result = AttestResult(False, trace_problem, reply.report, attempts)
+            self._note_attest(result)
+            return result
         report = reply.report
         record = self.record
         if (record.firmware_hash is not None
@@ -251,13 +266,44 @@ class VerifierSession:
         record.firmware_version = report.firmware_version
         record.last_seen = report.cycle
         record.attest_count += 1
-        record.violation_count = len(report.violation_reasons)
+        record.violation_count = report.violation_count
         record.reset_count = report.reset_count
         if record.state in (Lifecycle.ENROLLED, Lifecycle.UPDATING):
             record.state = Lifecycle.ACTIVE
         result = AttestResult(True, report=report, attempts=attempts)
         self._note_attest(result)
         return result
+
+    def _check_trace(self, reply: SignedReport) -> Optional[str]:
+        """Trace attestation: authenticate the window, then replay it.
+
+        Returns a quarantine reason or None.  The digest in the MAC'd
+        report binds the unauthenticated edge window; a window that
+        does not fold to it is forged.  An authentic window that does
+        not replay over the firmware's recovered CFG is evidence of a
+        control-flow hijack the device-side monitor missed.
+        """
+        if self.policy is None:
+            return None
+        snapshot = reply.trace
+        if snapshot is None:
+            return "trace-missing"
+        report = reply.report
+        # Every snapshot counter must match its MAC'd counterpart: a
+        # stripped window (total/dropped zeroed to make an empty trace
+        # fold cleanly) or an inflated `dropped` (downgrading replay to
+        # lenient windowed mode) is as forged as a tampered edge.
+        if (snapshot.total != report.trace_edges
+                or snapshot.dropped != report.trace_dropped
+                or snapshot.digest_hex != report.trace_digest
+                or not snapshot.consistent()):
+            return "trace-forged"
+        from repro.cfg.replay import TraceReplayer
+
+        verdict = TraceReplayer(self.policy).replay(snapshot, check_digest=False)
+        if not verdict.ok:
+            return f"trace-replay: {verdict.reason}"
+        return None
 
     def offer_update(self, package: UpdatePackage) -> Tuple[Optional[UpdateStatus], int]:
         """Offer one signed package; returns (status, attempts).

@@ -73,12 +73,18 @@ class FleetSimulation:
     """A registry, a transport, and one real Device per enrolled id."""
 
     def __init__(self, size=0, security="casu", platform="TI MSP430",
-                 loss=0.0, reorder=0.0, seed=0, max_attempts=4):
+                 loss=0.0, reorder=0.0, seed=0, max_attempts=4,
+                 verify_traces=False):
         if size < 0:
             raise ValueError("fleet size must be >= 0")
         self.security = security
         self.platform = platform
         self.max_attempts = max_attempts
+        # Trace attestation: when enabled, every attest() additionally
+        # authenticates + replays the device's branch trace against the
+        # CFI policy recovered from the shared firmware image.
+        self.verify_traces = verify_traces
+        self._policy = None
         self.registry = FleetRegistry()
         self.transport = Transport(loss=loss, reorder=reorder, seed=seed)
         self.telemetry = FleetTelemetry()
@@ -108,6 +114,16 @@ class FleetSimulation:
 
     # ---- verifier plumbing -----------------------------------------------
 
+    @property
+    def policy(self):
+        """The fleet firmware's recovered CFI policy (lazy, shared)."""
+        if self._policy is None:
+            from repro.cfg import policy_for_program
+
+            program = _fleet_build().program
+            self._policy = policy_for_program(program, name="fleet-node")
+        return self._policy
+
     def session(self, device_id: str) -> VerifierSession:
         session = self._sessions.get(device_id)
         if session is None:
@@ -116,7 +132,8 @@ class FleetSimulation:
             session = VerifierSession(
                 self.registry.get(device_id), self.agents[device_id],
                 self.transport.link(device_id), telemetry=self.telemetry,
-                max_attempts=self.max_attempts)
+                max_attempts=self.max_attempts,
+                policy=self.policy if self.verify_traces else None)
             self._sessions[device_id] = session
         return session
 
@@ -191,6 +208,16 @@ class FleetSimulation:
         return campaign.run()
 
     # ---- fault injection -------------------------------------------------
+
+    def forge_trace(self, device_id: str, src=0xE000, dst=0xE000, kind="jump"):
+        """Fabricate a trace edge on one device without digest folding.
+
+        Models a compromised device OS (or in-path attacker) inventing
+        control-flow evidence.  The edge window no longer folds to the
+        MAC'd digest, so the next trace-verifying attest quarantines
+        the device with ``trace-forged``.
+        """
+        self.devices[device_id].trace.inject_edge(src, dst, kind)
 
     def corrupt_firmware(self, device_id: str, max_cycles=2_000):
         """Flip the first word of the resident app and run into the fault."""

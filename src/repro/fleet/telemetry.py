@@ -27,11 +27,24 @@ class FleetTelemetry:
         self.attempt_histogram = Counter()  # round-trip attempts -> count
         self.resets = 0
         self.attestations = 0
-        # Reports carry the device's full history; fold only the part
-        # we have not seen from that device yet.
-        self._seen = {}  # device_id -> (violations_seen, resets_seen)
+        # Reports carry *cumulative* per-reason violation totals (the
+        # reasons window itself is a bounded ring on the device); fold
+        # only the delta we have not seen from that device yet.
+        self._seen = {}  # device_id -> (per-reason totals dict, resets_seen)
 
     # ---- ingestion -------------------------------------------------------
+
+    @staticmethod
+    def _parse_totals(report) -> dict:
+        """Decode the report's 'reason=count' cumulative totals."""
+        totals = {}
+        for item in report.violation_totals:
+            reason, _, count = item.partition("=")
+            try:
+                totals[reason] = int(count)
+            except ValueError:
+                continue  # malformed entry; MAC'd, so this is defensive only
+        return totals
 
     def record_attest(self, device_id: str, result):
         """Fold one AttestResult (protocol calls this per heartbeat)."""
@@ -41,11 +54,13 @@ class FleetTelemetry:
             self.attempt_histogram[result.attempts] += 1
             if result.report is not None:
                 report = result.report
-                seen_violations, seen_resets = self._seen.get(device_id, (0, 0))
-                self.violations.update(report.violation_reasons[seen_violations:])
+                totals = self._parse_totals(report)
+                seen_totals, seen_resets = self._seen.get(device_id, ({}, 0))
+                for reason, count in totals.items():
+                    self.violations[reason] += max(
+                        0, count - seen_totals.get(reason, 0))
                 self.resets += max(0, report.reset_count - seen_resets)
-                self._seen[device_id] = (len(report.violation_reasons),
-                                         report.reset_count)
+                self._seen[device_id] = (totals, report.reset_count)
 
     def record_update(self, device_id: str, status: Optional[UpdateStatus],
                       attempts: int):
