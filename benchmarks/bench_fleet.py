@@ -9,8 +9,11 @@ persistence) measure themselves against:
   ROM copy on the device CPU, MAC'd ack);
 * attestation round-trips/sec -- heartbeat evidence collection.
 
-The >=100 devices/sec floor is the subsystem's acceptance bar; the
-reference machine does several hundred.
+The interpreter hot-path PR (decoded-instruction cache + zero-alloc
+step loop) lifted the reference machine from ~500 to ~1000+ dev/s on
+the full enroll+rollout path; the CI floor is set at 400 dev/s (4x the
+original bar) to stay immune to runner-hardware variance while still
+catching any real regression of the batched device loop.
 """
 
 import time
@@ -37,8 +40,9 @@ def test_bench_fleet_rollout_1k(benchmark):
     benchmark.extra_info["devices"] = FLEET_SIZE
     benchmark.extra_info["enroll_rollout_devices_per_sec"] = round(devices_per_sec)
     benchmark.extra_info["rollout_devices_per_sec"] = round(report.devices_per_sec)
-    # The acceptance floor for the subsystem, with margin for CI noise.
-    assert devices_per_sec >= 100
+    # CI floor with hardware-variance margin; the reference machine does
+    # ~1040 dev/s (the >=1000 dev/s target of the hot-path PR).
+    assert devices_per_sec >= 400
 
 
 def test_bench_fleet_attestation_roundtrips(benchmark):

@@ -10,6 +10,8 @@
   ROM, bypassing the entry section (ROM atomicity).
 """
 
+import functools
+
 from repro.attacks.harness import AttackHarness, AttackOutcome, AttackResult
 from repro.attacks.victims import (
     PMEM_WRITER_ASM,
@@ -46,8 +48,10 @@ def code_injection(security: str) -> AttackResult:
     )
 
 
-def _run_raw_asm(source, security, link_eilid_runtime=True):
-    """Build a hand-written firmware (attacker-controlled binary)."""
+@functools.lru_cache(maxsize=None)
+def _raw_asm_build(source, link_eilid_runtime):
+    """Assemble a hand-written firmware once per process (the build is
+    immutable; each attack run gets its own device)."""
     from repro.toolchain.build import SourceModule
 
     builder = IterativeBuild()
@@ -57,7 +61,12 @@ def _run_raw_asm(source, security, link_eilid_runtime=True):
     ]
     if link_eilid_runtime:
         modules.append(SourceModule("eilid_rom.s", builder.trusted.rom_source()))
-    build = builder.pipeline.build(modules, name="raw-attack")
+    return builder.pipeline.build(modules, name="raw-attack")
+
+
+def _run_raw_asm(source, security, link_eilid_runtime=True):
+    """Build a hand-written firmware (attacker-controlled binary)."""
+    build = _raw_asm_build(source, link_eilid_runtime)
     device = build_device(build.program, security=security)
     return device
 

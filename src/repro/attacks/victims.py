@@ -6,6 +6,7 @@ pattern (0xAA) that serves as the hijack evidence.  ``process`` is the
 function whose activation record the attacker corrupts.
 """
 
+import functools
 from typing import Optional
 
 from repro.device import build_device
@@ -101,17 +102,32 @@ def victim_adc():
     return {"adc": Adc(AdcSchedule({5: AdcSchedule.steps(5, [100, 300, 500, 700])}))}
 
 
+def _build_victim_with(builder: IterativeBuild, variant: str):
+    asm = compile_c(VICTIM_C, "victim")
+    if variant == "eilid":
+        return builder.build_eilid(asm, "victim.s").final
+    return builder.build_original(asm, "victim.s")
+
+
+@functools.lru_cache(maxsize=None)
+def _victim_build(variant: str):
+    """Compile the victim firmware once per process per variant.
+
+    The build artifacts are immutable (devices copy the image into
+    their own bus), so every attack scenario can share them; only the
+    device itself must be fresh.
+    """
+    return _build_victim_with(IterativeBuild(), variant)
+
+
 def build_victim(security: str, builder: Optional[IterativeBuild] = None):
     """Build the C victim for *security* level and return (device, build).
 
     The EILID device runs the instrumented binary; baseline and CASU
     run the original (they have no EILID runtime to call into).
     """
-    builder = builder or IterativeBuild()
-    asm = compile_c(VICTIM_C, "victim")
-    if security == "eilid":
-        build = builder.build_eilid(asm, "victim.s").final
-    else:
-        build = builder.build_original(asm, "victim.s")
+    variant = "eilid" if security == "eilid" else "original"
+    build = (_victim_build(variant) if builder is None
+             else _build_victim_with(builder, variant))
     device = build_device(build.program, security=security, peripherals=victim_adc())
     return device, build

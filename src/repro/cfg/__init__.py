@@ -54,6 +54,7 @@ from repro.cfg.replay import ReplayResult, TraceReplayer, replay_trace
 from repro.cfg.trace import (
     BranchTraceRecorder,
     TraceSnapshot,
+    capture_trace,
     classify_step,
     fold_edges,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "TraceSnapshot",
     "Transfer",
     "TransferKind",
+    "capture_trace",
     "classify_insn",
     "classify_step",
     "compile_policy",

@@ -9,15 +9,39 @@ the step was an interrupt entry.
 Instruction semantics and cycle counts follow SLAU049 (MSP430x1xx
 Family User's Guide).  Deviations, all harmless to the EILID argument,
 are documented inline.
+
+Decoded-instruction cache
+-------------------------
+
+The hot path keeps a cache ``{pc: (insn, next_pc, cycles, fetch
+accesses, executor)}`` so straight-line re-execution never re-decodes.
+The invalidation contract, shared with :class:`repro.memory.bus.Bus`:
+
+* filling an entry registers every word address the instruction's
+  encoding occupies with the bus (:meth:`Bus.note_code_cached`);
+* **any** mutation of memory through the bus -- CPU-issued writes,
+  back-door ``poke_word``/``load_bytes``, violation-rollback restores --
+  kills every entry whose registered words overlap the written word, so
+  self-modifying and attacker-injected code always re-decodes;
+* a cache hit replays the entry's recorded FETCH accesses into the bus
+  trace, so the monitor-visible access stream is bit-identical to an
+  uncached run (the replayed records are value-equal to the ones a real
+  fetch sequence would append, and the invalidation rule guarantees the
+  underlying words have not changed).
+
+Interrupt acceptance and ILLEGAL/fault steps are never cached.  Passing
+``decode_cache=False`` (or flipping :data:`DECODE_CACHE_DEFAULT`)
+disables the cache; the differential tests in
+``tests/test_decode_cache.py`` assert both paths produce identical
+StepRecords, cycle totals and monitor verdicts.
 """
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
-from repro.errors import DecodingError
+from repro.errors import DecodingError, MemoryAccessError
 from repro.isa import decode, instruction_cycles, INTERRUPT_CYCLES
-from repro.isa.opcodes import Format
 from repro.isa.operands import AddrMode
 from repro.isa.registers import (
     FLAG_C,
@@ -30,8 +54,12 @@ from repro.isa.registers import (
     SP,
     SR,
 )
-from repro.memory.bus import Bus
+from repro.memory.bus import Access, AccessKind, Bus
 from repro.memory.map import RESET_VECTOR
+
+# Process-wide default for new CPUs; tests flip this to run whole
+# subsystems (attacks, apps) through the uncached path differentially.
+DECODE_CACHE_DEFAULT = True
 
 
 class StepKind(enum.Enum):
@@ -66,7 +94,7 @@ class StepRecord:
 class Cpu:
     """Register file + execution engine."""
 
-    def __init__(self, bus: Bus, interrupt_controller=None):
+    def __init__(self, bus: Bus, interrupt_controller=None, decode_cache=None):
         self.bus = bus
         self.regs = [0] * NUM_REGISTERS
         self.ic = interrupt_controller
@@ -81,6 +109,45 @@ class Cpu:
         # recorder).  Installed by the device; None keeps the hot path
         # free of the extra call.
         self.trace_sink = None
+        # Extension-word fetch cursor; the bound method is hoisted so the
+        # step loop never allocates a closure.
+        self._fetch_addr = 0
+        self._fetch_ext_cb = self._fetch_ext
+        # Opcode -> bound executor, resolved once.
+        self._executors = {
+            "mov": self._ex_mov,
+            "add": self._ex_add,
+            "addc": self._ex_addc,
+            "sub": self._ex_sub,
+            "subc": self._ex_subc,
+            "cmp": self._ex_cmp,
+            "dadd": self._ex_dadd,
+            "and": self._ex_and,
+            "bit": self._ex_bit,
+            "xor": self._ex_xor,
+            "bic": self._ex_bic,
+            "bis": self._ex_bis,
+            "rra": self._ex_rra,
+            "rrc": self._ex_rrc,
+            "swpb": self._ex_swpb,
+            "sxt": self._ex_sxt,
+            "push": self._ex_push,
+            "call": self._ex_call,
+            "reti": self._ex_reti,
+            "jnz": self._ex_jnz,
+            "jz": self._ex_jz,
+            "jnc": self._ex_jnc,
+            "jc": self._ex_jc,
+            "jn": self._ex_jn,
+            "jge": self._ex_jge,
+            "jl": self._ex_jl,
+            "jmp": self._ex_jmp,
+        }
+        if decode_cache is None:
+            decode_cache = DECODE_CACHE_DEFAULT
+        self._dcache: Optional[dict] = {} if decode_cache else None
+        if self._dcache is not None:
+            bus.bind_decode_cache(self._dcache)
 
     # ---- register helpers -------------------------------------------------
 
@@ -118,10 +185,14 @@ class Cpu:
 
     def _set_flags(self, c=None, z=None, n=None, v=None):
         sr = self.regs[SR]
-        for bit, value in ((FLAG_C, c), (FLAG_Z, z), (FLAG_N, n), (FLAG_V, v)):
-            if value is None:
-                continue
-            sr = (sr | bit) if value else (sr & ~bit)
+        if c is not None:
+            sr = (sr | FLAG_C) if c else (sr & ~FLAG_C)
+        if z is not None:
+            sr = (sr | FLAG_Z) if z else (sr & ~FLAG_Z)
+        if n is not None:
+            sr = (sr | FLAG_N) if n else (sr & ~FLAG_N)
+        if v is not None:
+            sr = (sr | FLAG_V) if v else (sr & ~FLAG_V)
         self.regs[SR] = sr & 0xFFFF
 
     # ---- reset --------------------------------------------------------------
@@ -131,6 +202,7 @@ class Cpu:
 
         The vector read models the hardware reset sequence and is not a
         CPU bus transaction, so it is untraced (monitors start clean).
+        The decode cache survives: a reset changes no memory.
         """
         self.regs = [0] * NUM_REGISTERS
         self.pc = self.bus.peek_word(RESET_VECTOR)
@@ -139,61 +211,84 @@ class Cpu:
 
     def step(self) -> StepRecord:
         """Execute one architectural event and return its record."""
-        pc_before = self.pc
-        self.bus.current_pc = pc_before
-        self.bus.drain_trace()
+        regs = self.regs
+        pc_before = regs[PC]
+        bus = self.bus
+        bus.current_pc = pc_before
+        if bus.trace:
+            bus.trace = []
 
-        if self._should_take_interrupt(pc_before):
+        ic = self.ic
+        if (ic is not None and regs[SR] & FLAG_GIE and ic.any_pending
+                and not self.irq_deferred_at(pc_before)):
             return self._service_interrupt(pc_before)
 
-        first_word = self.bus.fetch_word(pc_before)
-        fetch_cursor = {"addr": pc_before + 2}
+        cache = self._dcache
+        entry = cache.get(pc_before) if cache is not None else None
+        if entry is not None:
+            insn, next_pc, cycles, accesses, executor = entry
+            if bus.recording:
+                # Replay the monitor-visible FETCH stream; invalidation
+                # guarantees the cached words still match memory.
+                bus.trace.extend(accesses)
+            regs[PC] = next_pc
+            executor(insn)
+        else:
+            first_word = None
+            try:
+                first_word = bus.fetch_word(pc_before)
+                self._fetch_addr = pc_before + 2
+                insn = decode(first_word, self._fetch_ext_cb)
+            except DecodingError:
+                # An illegal opcode halts a real MSP430 into reset via
+                # the watchdog; we surface it as an ILLEGAL step and let
+                # the device reset.
+                return self._illegal_step(pc_before, first_word)
+            except MemoryAccessError:
+                # The fetch ran off the top of the address space (e.g.
+                # the extension word of a two-word instruction at
+                # 0xFFFE): a fault step, not a simulator crash.
+                return self._illegal_step(pc_before, first_word)
+            next_pc = self._fetch_addr & 0xFFFE
+            executor = self._executors[insn.opcode.mnemonic]
+            cycles = instruction_cycles(insn)
+            if cache is not None:
+                size_words = (self._fetch_addr - pc_before) >> 1
+                mem = bus.mem
+                accesses = tuple(
+                    Access(AccessKind.FETCH, a, mem[a] | (mem[a + 1] << 8),
+                           2, pc_before)
+                    for a in range(pc_before, pc_before + 2 * size_words, 2))
+                cache[pc_before] = (insn, next_pc, cycles, accesses, executor)
+                bus.note_code_cached(pc_before, size_words)
+            regs[PC] = next_pc
+            executor(insn)
 
-        def fetch_ext():
-            word = self.bus.fetch_word(fetch_cursor["addr"])
-            fetch_cursor["addr"] += 2
-            return word
-
-        try:
-            insn = decode(first_word, fetch_ext)
-        except DecodingError:
-            # An illegal opcode halts a real MSP430 into reset via the
-            # watchdog; we surface it as an ILLEGAL step and let the
-            # device reset.
-            record = StepRecord(
-                kind=StepKind.ILLEGAL,
-                pc=pc_before,
-                next_pc=pc_before,
-                cycles=1,
-                accesses=self.bus.drain_trace(),
-                illegal_word=first_word,
-            )
-            self.total_cycles += record.cycles
-            return record
-
-        self.pc = fetch_cursor["addr"]
-        self._execute(insn)
-        cycles = instruction_cycles(insn)
         self.total_cycles += cycles
         self.instruction_count += 1
         record = StepRecord(
             kind=StepKind.INSTRUCTION,
             pc=pc_before,
-            next_pc=self.pc,
+            next_pc=regs[PC],
             cycles=cycles,
-            accesses=self.bus.drain_trace(),
+            accesses=bus.drain_trace(),
             insn=insn,
         )
         if self.trace_sink is not None:
             self.trace_sink.observe(record)
         return record
 
-    def _should_take_interrupt(self, pc):
-        if self.ic is None or not self.gie:
-            return False
-        if not self.ic.any_pending:
-            return False
-        return not self.irq_deferred_at(pc)
+    def _illegal_step(self, pc_before, first_word):
+        record = StepRecord(
+            kind=StepKind.ILLEGAL,
+            pc=pc_before,
+            next_pc=pc_before,
+            cycles=1,
+            accesses=self.bus.drain_trace(),
+            illegal_word=0 if first_word is None else first_word,
+        )
+        self.total_cycles += record.cycles
+        return record
 
     def _service_interrupt(self, pc_before):
         vector = self.ic.accept()
@@ -216,6 +311,12 @@ class Cpu:
         if self.trace_sink is not None:
             self.trace_sink.observe(record)
         return record
+
+    def _fetch_ext(self):
+        addr = self._fetch_addr
+        word = self.bus.fetch_word(addr)
+        self._fetch_addr = addr + 2
+        return word
 
     # ---- operand access -----------------------------------------------------
 
@@ -284,62 +385,97 @@ class Cpu:
 
     # ---- execution -----------------------------------------------------------
 
-    def _execute(self, insn):
-        fmt = insn.opcode.format
-        if fmt is Format.DOUBLE:
-            self._execute_double(insn)
-        elif fmt is Format.SINGLE:
-            self._execute_single(insn)
-        else:
-            self._execute_jump(insn)
+    # -- format I (double operand) helpers --
 
-    def _execute_double(self, insn):
+    def _f1_read(self, insn, byte, mask):
+        """Source value, destination value and destination EA (or None
+        for a register destination).  Source reads first, as on the
+        hardware (auto-increment side effects precede the dst read)."""
+        src = self._read_operand(insn.src, byte)
+        dst_op = insn.dst
+        if dst_op.mode is AddrMode.REGISTER:
+            return src, self.regs[dst_op.reg] & mask, None
+        addr = self._effective_address(dst_op)
+        return src, self._load(addr, byte), addr
+
+    def _f1_commit(self, insn, result, dst_addr, byte):
+        if dst_addr is None:
+            if byte:
+                result &= 0xFF
+            self.set_reg(insn.dst.reg, result)
+        else:
+            self._store(dst_addr, result, byte)
+
+    def _ex_mov(self, insn):
+        byte = insn.byte_mode
+        self._write_operand(insn.dst, self._read_operand(insn.src, byte), byte)
+
+    def _f1_add(self, insn, use_carry):
         byte = insn.byte_mode
         mask = 0xFF if byte else 0xFFFF
         msb = 0x80 if byte else 0x8000
-        src = self._read_operand(insn.src, byte)
-        name = insn.mnemonic
+        src, dst, dst_addr = self._f1_read(insn, byte, mask)
+        carry_in = 1 if (use_carry and self.regs[SR] & FLAG_C) else 0
+        total = src + dst + carry_in
+        result = total & mask
+        self._set_flags(
+            c=total > mask,
+            z=result == 0,
+            n=bool(result & msb),
+            v=bool(~(src ^ dst) & (src ^ result) & msb),
+        )
+        self._f1_commit(insn, result, dst_addr, byte)
 
-        if name == "mov":
-            self._write_operand(insn.dst, src, byte)
-            return
+    def _ex_add(self, insn):
+        self._f1_add(insn, use_carry=False)
 
-        # Every other format-I instruction reads the destination first.
-        if insn.dst.mode is AddrMode.REGISTER:
-            dst = self.regs[insn.dst.reg] & mask
-            dst_addr = None
-        else:
-            dst_addr = self._effective_address(insn.dst)
-            dst = self._load(dst_addr, byte)
+    def _ex_addc(self, insn):
+        self._f1_add(insn, use_carry=True)
 
-        result = None
-        if name in ("add", "addc"):
-            carry_in = 1 if (name == "addc" and self.flag(FLAG_C)) else 0
-            total = src + dst + carry_in
-            result = total & mask
-            self._set_flags(
-                c=total > mask,
-                z=result == 0,
-                n=bool(result & msb),
-                v=bool(~(src ^ dst) & (src ^ result) & msb),
-            )
-        elif name in ("sub", "subc", "cmp"):
-            inv = (~src) & mask
-            carry_in = (1 if self.flag(FLAG_C) else 0) if name == "subc" else 1
-            total = dst + inv + carry_in
-            result = total & mask
-            self._set_flags(
-                c=total > mask,
-                z=result == 0,
-                n=bool(result & msb),
-                v=bool(~(inv ^ dst) & (inv ^ result) & msb),
-            )
-        elif name == "dadd":
-            result = self._bcd_add(src, dst, byte)
-        elif name in ("and", "bit"):
+    def _f1_sub(self, insn, use_carry, commit):
+        byte = insn.byte_mode
+        mask = 0xFF if byte else 0xFFFF
+        msb = 0x80 if byte else 0x8000
+        src, dst, dst_addr = self._f1_read(insn, byte, mask)
+        inv = (~src) & mask
+        carry_in = (1 if self.regs[SR] & FLAG_C else 0) if use_carry else 1
+        total = dst + inv + carry_in
+        result = total & mask
+        self._set_flags(
+            c=total > mask,
+            z=result == 0,
+            n=bool(result & msb),
+            v=bool(~(inv ^ dst) & (inv ^ result) & msb),
+        )
+        if commit:
+            self._f1_commit(insn, result, dst_addr, byte)
+
+    def _ex_sub(self, insn):
+        self._f1_sub(insn, use_carry=False, commit=True)
+
+    def _ex_subc(self, insn):
+        self._f1_sub(insn, use_carry=True, commit=True)
+
+    def _ex_cmp(self, insn):
+        self._f1_sub(insn, use_carry=False, commit=False)
+
+    def _ex_dadd(self, insn):
+        byte = insn.byte_mode
+        mask = 0xFF if byte else 0xFFFF
+        src, dst, dst_addr = self._f1_read(insn, byte, mask)
+        result = self._bcd_add(src, dst, byte)
+        self._f1_commit(insn, result, dst_addr, byte)
+
+    def _f1_logic(self, insn, op, commit):
+        byte = insn.byte_mode
+        mask = 0xFF if byte else 0xFFFF
+        msb = 0x80 if byte else 0x8000
+        src, dst, dst_addr = self._f1_read(insn, byte, mask)
+        if op == "and":
             result = src & dst
-            self._set_flags(c=result != 0, z=result == 0, n=bool(result & msb), v=False)
-        elif name == "xor":
+            self._set_flags(c=result != 0, z=result == 0,
+                            n=bool(result & msb), v=False)
+        elif op == "xor":
             result = src ^ dst
             self._set_flags(
                 c=result != 0,
@@ -347,20 +483,27 @@ class Cpu:
                 n=bool(result & msb),
                 v=bool(src & msb) and bool(dst & msb),
             )
-        elif name == "bic":
+        elif op == "bic":
             result = dst & ~src & mask
-        elif name == "bis":
+        else:  # bis
             result = dst | src
-        else:  # pragma: no cover - table and dispatch are exhaustive
-            raise DecodingError(f"unhandled format-I mnemonic {name}")
+        if commit:
+            self._f1_commit(insn, result, dst_addr, byte)
 
-        if insn.opcode.writes_dest:
-            if dst_addr is None:
-                if byte:
-                    result &= 0xFF
-                self.set_reg(insn.dst.reg, result)
-            else:
-                self._store(dst_addr, result, byte)
+    def _ex_and(self, insn):
+        self._f1_logic(insn, "and", commit=True)
+
+    def _ex_bit(self, insn):
+        self._f1_logic(insn, "and", commit=False)
+
+    def _ex_xor(self, insn):
+        self._f1_logic(insn, "xor", commit=True)
+
+    def _ex_bic(self, insn):
+        self._f1_logic(insn, "bic", commit=True)
+
+    def _ex_bis(self, insn):
+        self._f1_logic(insn, "bis", commit=True)
 
     def _bcd_add(self, src, dst, byte):
         """Decimal (BCD) addition with carry, per DADD semantics."""
@@ -379,70 +522,106 @@ class Cpu:
         self._set_flags(c=bool(carry), z=result == 0, n=bool(result & msb), v=False)
         return result
 
-    def _execute_single(self, insn):
-        name = insn.mnemonic
-        if name == "reti":
-            self.regs[SR] = self._pop()
-            self.pc = self._pop()
-            return
+    # -- format II (single operand) --
 
+    def _ex_reti(self, insn):
+        self.regs[SR] = self._pop()
+        self.pc = self._pop()
+
+    def _ex_push(self, insn):
         byte = insn.byte_mode
-        mask = 0xFF if byte else 0xFFFF
-        msb = 0x80 if byte else 0x8000
+        value = self._read_operand(insn.dst, byte)
+        # PUSH.B still moves SP by a full word (SLAU049 3.4.34).
+        self._push(value & (0xFF if byte else 0xFFFF))
 
-        if name == "push":
-            value = self._read_operand(insn.dst, byte)
-            # PUSH.B still moves SP by a full word (SLAU049 3.4.34).
-            self._push(value & mask)
-            return
-        if name == "call":
-            target = self._read_operand(insn.dst, byte_mode=False)
-            self._push(self.pc)
-            self.pc = target
-            return
+    def _ex_call(self, insn):
+        target = self._read_operand(insn.dst, byte_mode=False)
+        self._push(self.regs[PC])
+        self.set_reg(PC, target)
 
-        # RRA/RRC/SWPB/SXT: read-modify-write.
-        if insn.dst.mode is AddrMode.REGISTER:
-            value = self.regs[insn.dst.reg] & mask
-            addr = None
-        else:
-            addr = self._effective_address(insn.dst)
-            value = self._load(addr, byte)
+    def _f2_read(self, insn, byte, mask):
+        """Read-modify-write source: value plus EA (None for register)."""
+        dst_op = insn.dst
+        if dst_op.mode is AddrMode.REGISTER:
+            return self.regs[dst_op.reg] & mask, None
+        addr = self._effective_address(dst_op)
+        return self._load(addr, byte), addr
 
-        if name == "rra":
-            carry = value & 1
-            result = (value >> 1) | (value & msb)
-            self._set_flags(c=bool(carry), z=result == 0, n=bool(result & msb), v=False)
-        elif name == "rrc":
-            carry_in = msb if self.flag(FLAG_C) else 0
-            carry = value & 1
-            result = (value >> 1) | carry_in
-            self._set_flags(c=bool(carry), z=result == 0, n=bool(result & msb), v=False)
-        elif name == "swpb":
-            result = ((value << 8) | (value >> 8)) & 0xFFFF
-        elif name == "sxt":
-            result = value & 0xFF
-            if result & 0x80:
-                result |= 0xFF00
-            self._set_flags(c=result != 0, z=result == 0, n=bool(result & 0x8000), v=False)
-        else:  # pragma: no cover
-            raise DecodingError(f"unhandled format-II mnemonic {name}")
-
+    def _f2_commit(self, insn, result, addr, byte, mask):
         if addr is None:
             self.set_reg(insn.dst.reg, result & mask)
         else:
             self._store(addr, result, byte)
 
-    def _execute_jump(self, insn):
-        take = {
-            "jnz": not self.flag(FLAG_Z),
-            "jz": self.flag(FLAG_Z),
-            "jnc": not self.flag(FLAG_C),
-            "jc": self.flag(FLAG_C),
-            "jn": self.flag(FLAG_N),
-            "jge": self.flag(FLAG_N) == self.flag(FLAG_V),
-            "jl": self.flag(FLAG_N) != self.flag(FLAG_V),
-            "jmp": True,
-        }[insn.mnemonic]
-        if take:
-            self.pc = self.pc + 2 * insn.offset
+    def _ex_rra(self, insn):
+        byte = insn.byte_mode
+        mask = 0xFF if byte else 0xFFFF
+        msb = 0x80 if byte else 0x8000
+        value, addr = self._f2_read(insn, byte, mask)
+        carry = value & 1
+        result = (value >> 1) | (value & msb)
+        self._set_flags(c=bool(carry), z=result == 0, n=bool(result & msb), v=False)
+        self._f2_commit(insn, result, addr, byte, mask)
+
+    def _ex_rrc(self, insn):
+        byte = insn.byte_mode
+        mask = 0xFF if byte else 0xFFFF
+        msb = 0x80 if byte else 0x8000
+        value, addr = self._f2_read(insn, byte, mask)
+        carry_in = msb if self.regs[SR] & FLAG_C else 0
+        carry = value & 1
+        result = (value >> 1) | carry_in
+        self._set_flags(c=bool(carry), z=result == 0, n=bool(result & msb), v=False)
+        self._f2_commit(insn, result, addr, byte, mask)
+
+    def _ex_swpb(self, insn):
+        value, addr = self._f2_read(insn, False, 0xFFFF)
+        result = ((value << 8) | (value >> 8)) & 0xFFFF
+        self._f2_commit(insn, result, addr, False, 0xFFFF)
+
+    def _ex_sxt(self, insn):
+        value, addr = self._f2_read(insn, False, 0xFFFF)
+        result = value & 0xFF
+        if result & 0x80:
+            result |= 0xFF00
+        self._set_flags(c=result != 0, z=result == 0, n=bool(result & 0x8000), v=False)
+        self._f2_commit(insn, result, addr, False, 0xFFFF)
+
+    # -- jumps --
+
+    def _take_jump(self, insn):
+        regs = self.regs
+        regs[PC] = (regs[PC] + 2 * insn.offset) & 0xFFFE
+
+    def _ex_jmp(self, insn):
+        self._take_jump(insn)
+
+    def _ex_jnz(self, insn):
+        if not self.regs[SR] & FLAG_Z:
+            self._take_jump(insn)
+
+    def _ex_jz(self, insn):
+        if self.regs[SR] & FLAG_Z:
+            self._take_jump(insn)
+
+    def _ex_jnc(self, insn):
+        if not self.regs[SR] & FLAG_C:
+            self._take_jump(insn)
+
+    def _ex_jc(self, insn):
+        if self.regs[SR] & FLAG_C:
+            self._take_jump(insn)
+
+    def _ex_jn(self, insn):
+        if self.regs[SR] & FLAG_N:
+            self._take_jump(insn)
+
+    def _ex_jge(self, insn):
+        sr = self.regs[SR]
+        if bool(sr & FLAG_N) == bool(sr & FLAG_V):
+            self._take_jump(insn)
+
+    def _ex_jl(self, insn):
+        sr = self.regs[SR]
+        if bool(sr & FLAG_N) != bool(sr & FLAG_V):
+            self._take_jump(insn)

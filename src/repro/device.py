@@ -41,6 +41,7 @@ from repro.peripherals import (
     Uart,
     Ultrasonic,
 )
+from repro.peripherals.base import Peripheral
 
 SECURITY_LEVELS = ("none", "casu", "eilid")
 
@@ -87,7 +88,8 @@ class Device:
     def __init__(self, program, security="none", peripherals=None,
                  update_key: Optional[UpdateKey] = None,
                  max_events: Optional[int] = None,
-                 trace_capacity: Optional[int] = None):
+                 trace_capacity: Optional[int] = None,
+                 decode_cache: Optional[bool] = None):
         if security not in SECURITY_LEVELS:
             raise ValueError(f"security must be one of {SECURITY_LEVELS}")
         self.program = program
@@ -95,7 +97,7 @@ class Device:
         self.layout = program.layout
         self.bus = Bus(self.layout)
         self.ic = InterruptController()
-        self.cpu = Cpu(self.bus, self.ic)
+        self.cpu = Cpu(self.bus, self.ic, decode_cache=decode_cache)
 
         if peripherals is None:
             peripherals = {}
@@ -110,6 +112,29 @@ class Device:
         }
         for peripheral in self.peripherals.values():
             peripheral.attach(self.bus, self.ic)
+        # Hot-loop plumbing, precomputed once: peripherals that override
+        # tick() advance per step; the rest only need ``now`` kept in
+        # sync (base tick just accumulates cycles, and device.cycle and
+        # peripheral.now advance in lockstep by construction).  The flat
+        # list of log-list references replaces per-step snapshot dicts.
+        base_tick = Peripheral.tick
+        self._ticking = tuple(p for p in self.peripherals.values()
+                              if type(p).tick is not base_tick)
+        self._passive = tuple(p for p in self.peripherals.values()
+                              if type(p).tick is base_tick)
+        # Peripherals that override the snapshot/rollback API carry
+        # extra voidable state (e.g. the harness DONE latch) and keep
+        # going through their own methods; everything else rolls back
+        # via plain list truncation.
+        self._custom_rollback = tuple(
+            p for p in self.peripherals.values()
+            if type(p).snapshot_logs is not Peripheral.snapshot_logs
+            or type(p).rollback_logs is not Peripheral.rollback_logs)
+        self._rollback_lists = tuple(
+            log for p in self.peripherals.values()
+            if p not in self._custom_rollback
+            for log in [p.events] + [getattr(p, a) for a in p._log_attrs])
+        self._harness = self.peripherals["harness"]
 
         self.monitor: Optional[HardwareMonitor] = None
         if security != "none":
@@ -148,7 +173,7 @@ class Device:
 
     @property
     def harness(self) -> HarnessPorts:
-        return self.peripherals["harness"]
+        return self._harness
 
     def symbol(self, name):
         return self.program.symbols[name]
@@ -210,35 +235,39 @@ class Device:
 
     def step(self):
         """One monitored step. Returns (record, violation_or_None)."""
-        regs_before = list(self.cpu.regs)
-        log_marks = None
-        if self.monitor is not None:
-            log_marks = {
-                name: p.snapshot_logs() for name, p in self.peripherals.items()
-            }
-        record = self.cpu.step()
-        self.cycle += record.cycles
-        for peripheral in self.peripherals.values():
-            peripheral.tick(record.cycles)
+        monitor = self.monitor
+        cpu = self.cpu
+        if monitor is not None:
+            regs_before = cpu.regs.copy()
+            log_marks = [len(log) for log in self._rollback_lists]
+            custom_marks = [p.snapshot_logs() for p in self._custom_rollback]
+        record = cpu.step()
+        cycles = record.cycles
+        self.cycle += cycles
+        for peripheral in self._ticking:
+            peripheral.tick(cycles)
+        now = self.cycle
+        for peripheral in self._passive:
+            peripheral.now = now
 
         violation = None
-        if self.monitor is not None:
-            violation = self.monitor.observe(record)
-            if violation is None and record.kind is StepKind.ILLEGAL:
-                pass
+        if monitor is not None:
+            violation = monitor.observe(record)
         elif record.kind is StepKind.ILLEGAL:
             # Without a monitor an illegal opcode just spins the PC past
             # the bad word, like a real core executing garbage.
-            self.cpu.pc = record.pc + 2
+            cpu.pc = record.pc + 2
 
         if violation is not None:
             # Hardware semantics: the violating cycle never commits --
             # memory writes, register changes and peripheral effects of
             # this step are all voided before the reset.
             self.bus.rollback_writes(record.accesses)
-            self.cpu.regs = regs_before
-            for name, peripheral in self.peripherals.items():
-                peripheral.rollback_logs(log_marks[name])
+            cpu.regs = regs_before
+            for log, mark in zip(self._rollback_lists, log_marks):
+                del log[mark:]
+            for peripheral, mark in zip(self._custom_rollback, custom_marks):
+                peripheral.rollback_logs(mark)
             self.violation_count += 1
             reason = violation.reason.value
             self.violation_totals[reason] = self.violation_totals.get(reason, 0) + 1
@@ -265,31 +294,52 @@ class Device:
         ``(StepRecord, violation_or_None)`` -- the hook the trace
         oracles in :mod:`repro.verification` attach to.
         """
+        return self._run_loop(max_cycles, stop_on_done, stop_on_violation,
+                              max_steps, break_at, observer)
+
+    def run_steps(self, n, max_cycles=None, stop_on_done=True,
+                  stop_on_violation=True):
+        """Batched inner loop: execute up to *n* steps in one call.
+
+        The fleet waves (:mod:`repro.fleet.simulation`) and trace
+        capture (:mod:`repro.cfg.trace`) drive millions of device steps;
+        this entry point amortizes the per-step Python overhead (no
+        observer or breakpoint hooks, attribute lookups hoisted) while
+        keeping the exact monitored-step semantics of :meth:`step`.
+        """
+        return self._run_loop(max_cycles, stop_on_done, stop_on_violation,
+                              n, None, None)
+
+    def _run_loop(self, max_cycles, stop_on_done, stop_on_violation,
+                  max_steps, break_at, observer):
         start_cycle = self.cycle
         start_insns = self.cpu.instruction_count
+        budget = float("inf") if max_cycles is None else max_cycles
+        limit = float("inf") if max_steps is None else max_steps
         steps = 0
         violations: List[Violation] = []
-        while self.cycle - start_cycle < max_cycles:
-            if max_steps is not None and steps >= max_steps:
-                break
-            _record, violation = self.step()
+        step = self.step
+        harness = self._harness
+        cpu = self.cpu
+        while self.cycle - start_cycle < budget and steps < limit:
+            record, violation = step()
             if observer is not None:
-                observer(_record, violation)
+                observer(record, violation)
             steps += 1
             if violation is not None:
                 violations.append(violation)
                 if stop_on_violation:
                     break
-            if stop_on_done and self.harness.done:
+            if stop_on_done and harness.done:
                 break
-            if break_at is not None and self.cpu.pc in break_at:
+            if break_at is not None and cpu.pc in break_at:
                 break
         return RunResult(
             cycles=self.cycle - start_cycle,
-            instructions=self.cpu.instruction_count - start_insns,
+            instructions=cpu.instruction_count - start_insns,
             steps=steps,
-            done=self.harness.done,
-            done_value=self.harness.done_value,
+            done=harness.done,
+            done_value=harness.done_value,
             violations=violations,
             reset_count=self.reset_count,
         )
@@ -359,7 +409,8 @@ def build_device(program, security="none", peripherals=None, update_key=None,
     """Factory mirroring the three rows of the DESIGN.md attack matrix.
 
     *limits* forwards the evidence bounds (``max_events``,
-    ``trace_capacity``) to the device.
+    ``trace_capacity``) and the ``decode_cache`` interpreter knob to the
+    device.
     """
     return Device(program, security=security, peripherals=peripherals,
                   update_key=update_key, **limits)

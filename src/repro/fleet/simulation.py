@@ -149,7 +149,8 @@ class FleetSimulation:
     def run_all(self, max_cycles=2_000):
         """Let every device execute its resident app for a while."""
         for device in self.devices.values():
-            device.run(max_cycles=max_cycles, stop_on_done=True)
+            device.run_steps(max_cycles, max_cycles=max_cycles,
+                             stop_on_done=True)
 
     def package_factory(self, version: int, payload: Optional[bytes] = None,
                         tamper_ids: Sequence[str] = (),

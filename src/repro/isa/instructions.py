@@ -36,6 +36,15 @@ class Instruction:
         elif fmt is Format.JUMP:
             if self.offset is None:
                 raise IsaError(f"{self.opcode.mnemonic} needs a jump offset")
+        # All fields are frozen, so the encoded size is fixed; latch it
+        # once -- size_bytes sits on the per-step trace-classification
+        # hot path and cached instructions are re-used across steps.
+        words = 1
+        if self.src is not None:
+            words += self.src.extension_words
+        if self.dst is not None and fmt in (Format.DOUBLE, Format.SINGLE):
+            words += self.dst.extension_words
+        object.__setattr__(self, "_size_words", words)
 
     @property
     def mnemonic(self):
@@ -44,18 +53,11 @@ class Instruction:
     @property
     def size_words(self):
         """Total encoded size in 16-bit words."""
-        words = 1
-        if self.src is not None:
-            words += self.src.extension_words
-        if self.dst is not None and self.opcode.format is Format.DOUBLE:
-            words += self.dst.extension_words
-        if self.dst is not None and self.opcode.format is Format.SINGLE:
-            words += self.dst.extension_words
-        return words
+        return self._size_words
 
     @property
     def size_bytes(self):
-        return self.size_words * 2
+        return self._size_words * 2
 
     def render(self):
         """Canonical assembly text (used by listings and disassembly)."""

@@ -6,6 +6,25 @@ appends an :class:`Access` record to the current cycle's trace.  The
 hardware monitors (``repro.casu.monitor``) see exactly these records --
 the Python equivalent of tapping the MCU's ``mab``/``mdb``/``wen``
 signals.
+
+Alignment (SLAU049 3.2): word accesses ignore the low address bit --
+``read_word(0x0201)`` and ``read_word(0x0200)`` address the same word,
+exactly like the hardware's 16-bit memory address bus.  Accessing past
+the top of the 64 KB address space raises :class:`MemoryAccessError`
+(the CPU surfaces that as a fault step rather than crashing).
+
+Peripheral byte reads: a register's read handler models the
+architectural side effect of reading that register (e.g. popping the
+UART RX FIFO), so it fires at most once per architectural access -- on
+the data (low) byte.  Reading the high byte returns the latched backing
+store without re-triggering the handler, so a byte-wise word read of a
+data register fires its side effect exactly once.
+
+The bus also participates in the CPU's decoded-instruction cache: every
+mutation of ``mem`` through the bus (CPU writes, back-door pokes,
+loader writes, violation rollbacks) invalidates any cached decode whose
+words overlap the mutated address.  See :mod:`repro.cpu.core` for the
+full contract.
 """
 
 import enum
@@ -51,6 +70,15 @@ class Bus:
         self.recording = True
         # PC context for access records; the CPU sets this each step.
         self.current_pc = 0
+        # Decoded-instruction cache coupling (see repro.cpu.core):
+        # ``_dcache`` is the CPU-owned {pc: entry} dict; ``_dcache_index``
+        # maps each word-aligned address covered by a cached instruction
+        # to the set of cache keys to kill when that address is written;
+        # ``_dcache_span`` remembers each key's word count so those index
+        # entries can be unregistered on invalidation.
+        self._dcache: Optional[dict] = None
+        self._dcache_index: Dict[int, set] = {}
+        self._dcache_span: Dict[int, int] = {}
 
     # ---- peripheral registration ------------------------------------------
 
@@ -62,6 +90,40 @@ class Bus:
             self._read_handlers[addr] = read
         if write is not None:
             self._write_handlers[addr] = write
+
+    # ---- decoded-instruction cache hooks ----------------------------------
+
+    def bind_decode_cache(self, cache: dict):
+        """Adopt the CPU's decode cache for write invalidation."""
+        self._dcache = cache
+        self._dcache_index.clear()
+        self._dcache_span.clear()
+
+    def note_code_cached(self, key: int, n_words: int):
+        """Register the code words a new cache entry depends on."""
+        self._dcache_span[key] = n_words
+        index = self._dcache_index
+        for offset in range(n_words):
+            addr = (key + 2 * offset) & 0xFFFE
+            bucket = index.get(addr)
+            if bucket is None:
+                index[addr] = bucket = set()
+            bucket.add(key)
+
+    def _invalidate_code(self, addr):
+        """Kill every cache entry whose words cover word-aligned *addr*."""
+        cache = self._dcache
+        index = self._dcache_index
+        for key in index.pop(addr, ()):
+            if cache is not None:
+                cache.pop(key, None)
+            for offset in range(self._dcache_span.pop(key, 0)):
+                covered = (key + 2 * offset) & 0xFFFE
+                bucket = index.get(covered)
+                if bucket is not None:
+                    bucket.discard(key)
+                    if not bucket:
+                        del index[covered]
 
     # ---- raw (monitor-invisible) access for loaders and test harnesses ----
 
@@ -76,6 +138,10 @@ class Bus:
         if end > ADDRESS_SPACE:
             raise MemoryAccessError("image does not fit in the address space")
         self.mem[addr:end] = data
+        if self._dcache_index:
+            for aligned in range(addr & 0xFFFE, end, 2):
+                if aligned in self._dcache_index:
+                    self._invalidate_code(aligned)
 
     def peek_word(self, addr):
         self._check(addr, 2)
@@ -89,63 +155,111 @@ class Bus:
         self._check(addr, 2)
         self.mem[addr] = value & 0xFF
         self.mem[addr + 1] = (value >> 8) & 0xFF
+        base = addr & 0xFFFE
+        if base in self._dcache_index:
+            self._invalidate_code(base)
+        if addr & 1:  # an odd poke straddles two words
+            upper = (addr + 1) & 0xFFFE
+            if upper in self._dcache_index:
+                self._invalidate_code(upper)
 
     # ---- CPU-visible access -------------------------------------------------
 
     def fetch_word(self, addr):
-        """Instruction-stream fetch (monitored as FETCH)."""
-        value = self._read_word_raw(addr)
-        self._record(AccessKind.FETCH, addr, value, 2)
+        """Instruction-stream fetch (monitored as FETCH).
+
+        Raises :class:`MemoryAccessError` when the fetch crosses the top
+        of the address space (e.g. the extension word of a two-word
+        instruction sitting at 0xFFFE); the CPU turns that into a fault
+        step.
+        """
+        if addr < 0 or addr + 2 > ADDRESS_SPACE:
+            raise MemoryAccessError(f"fetch at 0x{addr:04x} outside address space")
+        addr &= 0xFFFE
+        mem = self.mem
+        value = mem[addr] | (mem[addr + 1] << 8)
+        if self.recording:
+            self.trace.append(Access(AccessKind.FETCH, addr, value, 2, self.current_pc))
         return value
 
     def read_word(self, addr):
-        if addr in self._read_handlers:
-            value = self._read_handlers[addr]() & 0xFFFF
-            self.poke_word(addr, value)  # keep backing store coherent
+        if addr < 0 or addr >= ADDRESS_SPACE:
+            raise MemoryAccessError(f"access at 0x{addr:04x} outside address space")
+        addr &= 0xFFFE  # SLAU049: low address bit ignored on word access
+        handler = self._read_handlers.get(addr)
+        if handler is not None:
+            value = handler() & 0xFFFF
+            mem = self.mem  # keep backing store coherent
+            mem[addr] = value & 0xFF
+            mem[addr + 1] = value >> 8
+            if addr in self._dcache_index:  # register words can be executed
+                self._invalidate_code(addr)
         else:
-            value = self._read_word_raw(addr)
-        self._record(AccessKind.READ, addr, value, 2)
+            mem = self.mem
+            value = mem[addr] | (mem[addr + 1] << 8)
+        if self.recording:
+            self.trace.append(Access(AccessKind.READ, addr, value, 2, self.current_pc))
         return value
 
     def read_byte(self, addr):
-        base = addr & ~1
-        if base in self._read_handlers:
-            word = self._read_handlers[base]() & 0xFFFF
-            self.poke_word(base, word)
-        self._check(addr, 1)
-        value = self.mem[addr]
-        self._record(AccessKind.READ, addr, value, 1)
+        if addr < 0 or addr >= ADDRESS_SPACE:
+            raise MemoryAccessError(f"access at 0x{addr:04x} outside address space")
+        handler = self._read_handlers.get(addr)
+        if handler is not None:
+            # Handlers are registered at the register's (even) base
+            # address, so this branch is the data-byte access: the one
+            # architectural read that triggers the side effect.  The
+            # high byte (odd address) reads the latched backing store.
+            word = handler() & 0xFFFF
+            mem = self.mem
+            mem[addr] = value = word & 0xFF
+            mem[addr + 1] = word >> 8
+            if addr in self._dcache_index:  # register words can be executed
+                self._invalidate_code(addr)
+        else:
+            value = self.mem[addr]
+        if self.recording:
+            self.trace.append(Access(AccessKind.READ, addr, value, 1, self.current_pc))
         return value
 
     def write_word(self, addr, value):
+        if addr < 0 or addr >= ADDRESS_SPACE:
+            raise MemoryAccessError(f"access at 0x{addr:04x} outside address space")
+        addr &= 0xFFFE  # SLAU049: low address bit ignored on word access
         value &= 0xFFFF
-        self._record(AccessKind.WRITE, addr, value, 2, prev=self.peek_word(addr))
-        self.poke_word(addr, value)
-        if addr in self._write_handlers:
-            self._write_handlers[addr](value)
+        mem = self.mem
+        if self.recording:
+            self.trace.append(Access(AccessKind.WRITE, addr, value, 2,
+                                     self.current_pc, mem[addr] | (mem[addr + 1] << 8)))
+        mem[addr] = value & 0xFF
+        mem[addr + 1] = value >> 8
+        if addr in self._dcache_index:
+            self._invalidate_code(addr)
+        handler = self._write_handlers.get(addr)
+        if handler is not None:
+            handler(value)
 
     def write_byte(self, addr, value):
+        if addr < 0 or addr >= ADDRESS_SPACE:
+            raise MemoryAccessError(f"access at 0x{addr:04x} outside address space")
         value &= 0xFF
-        self._check(addr, 1)
-        self._record(AccessKind.WRITE, addr, value, 1, prev=self.mem[addr])
-        self.mem[addr] = value
-        base = addr & ~1
-        if base in self._write_handlers:
-            self._write_handlers[base](self.peek_word(base))
+        mem = self.mem
+        if self.recording:
+            self.trace.append(Access(AccessKind.WRITE, addr, value, 1,
+                                     self.current_pc, mem[addr]))
+        mem[addr] = value
+        base = addr & 0xFFFE
+        if base in self._dcache_index:
+            self._invalidate_code(base)
+        handler = self._write_handlers.get(base)
+        if handler is not None:
+            handler(mem[base] | (mem[base + 1] << 8))
 
     # ---- internals -----------------------------------------------------------
-
-    def _read_word_raw(self, addr):
-        self._check(addr, 2)
-        return self.mem[addr] | (self.mem[addr + 1] << 8)
 
     def _check(self, addr, size):
         if addr < 0 or addr + size > ADDRESS_SPACE:
             raise MemoryAccessError(f"access at 0x{addr:04x} outside address space")
-
-    def _record(self, kind, addr, value, size, prev=None):
-        if self.recording:
-            self.trace.append(Access(kind, addr, value, size, self.current_pc, prev))
 
     def rollback_writes(self, accesses):
         """Undo the WRITE accesses of one step (hardware reset semantics:
@@ -157,6 +271,9 @@ class Bus:
                 self.poke_word(access.addr, access.prev)
             else:
                 self.mem[access.addr] = access.prev & 0xFF
+                base = access.addr & 0xFFFE
+                if base in self._dcache_index:
+                    self._invalidate_code(base)
 
     def drain_trace(self):
         """Return and clear the accesses recorded since the last drain."""

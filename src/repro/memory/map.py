@@ -53,11 +53,47 @@ RESET_VECTOR = 0xFFFE
 NUM_VECTORS = 16
 
 
+# Bits of the per-address attribute table (one byte per address).
+_F_EXEC = 0x01  # PMEM or secure ROM: instruction fetch allowed
+_F_PMEM = 0x02  # PMEM or IVT: immutable outside update sessions
+_F_SROM = 0x04
+_F_SDMEM = 0x08
+_F_DMEM = 0x10
+_F_PERIPH = 0x20
+
+_KIND_FLAGS = {
+    RegionKind.PERIPHERAL: _F_PERIPH,
+    RegionKind.DMEM: _F_DMEM,
+    RegionKind.SECURE_DMEM: _F_SDMEM,
+    RegionKind.SECURE_ROM: _F_SROM | _F_EXEC,
+    RegionKind.PMEM: _F_PMEM | _F_EXEC,
+    RegionKind.IVT: _F_PMEM,
+}
+
+
 @dataclass
 class MemoryLayout:
-    """The set of regions plus convenience predicates used by monitors."""
+    """The set of regions plus convenience predicates used by monitors.
+
+    The predicates sit on the hardware monitors' per-step hot path, so
+    they are answered from a precomputed 64 KB attribute table (one
+    lookup per query) rather than a region scan.  The region list is
+    fixed at construction time.
+    """
 
     regions: List[Region] = field(default_factory=list)
+
+    def __post_init__(self):
+        flags = bytearray(0x10000)
+        for region in self.regions:
+            bits = _KIND_FLAGS[region.kind]
+            span = flags[region.start:region.end + 1]
+            if any(span):  # overlapping regions: merge byte-wise
+                for addr in range(region.start, region.end + 1):
+                    flags[addr] |= bits
+            else:
+                flags[region.start:region.end + 1] = bytes([bits]) * len(span)
+        self._flags = flags
 
     @staticmethod
     def default(shadow_stack_bytes=256):
@@ -105,31 +141,22 @@ class MemoryLayout:
 
     def is_executable(self, addr):
         """W+X policy: only PMEM, IVT-adjacent flash and secure ROM execute."""
-        region = self.region_at(addr)
-        return region is not None and region.kind in (
-            RegionKind.PMEM,
-            RegionKind.SECURE_ROM,
-        )
+        return 0 <= addr <= 0xFFFF and self._flags[addr] & _F_EXEC != 0
 
     def in_pmem(self, addr):
-        region = self.region_at(addr)
-        return region is not None and region.kind in (RegionKind.PMEM, RegionKind.IVT)
+        return 0 <= addr <= 0xFFFF and self._flags[addr] & _F_PMEM != 0
 
     def in_secure_rom(self, addr):
-        region = self.region_at(addr)
-        return region is not None and region.kind is RegionKind.SECURE_ROM
+        return 0 <= addr <= 0xFFFF and self._flags[addr] & _F_SROM != 0
 
     def in_secure_dmem(self, addr):
-        region = self.region_at(addr)
-        return region is not None and region.kind is RegionKind.SECURE_DMEM
+        return 0 <= addr <= 0xFFFF and self._flags[addr] & _F_SDMEM != 0
 
     def in_dmem(self, addr):
-        region = self.region_at(addr)
-        return region is not None and region.kind is RegionKind.DMEM
+        return 0 <= addr <= 0xFFFF and self._flags[addr] & _F_DMEM != 0
 
     def in_peripheral(self, addr):
-        region = self.region_at(addr)
-        return region is not None and region.kind is RegionKind.PERIPHERAL
+        return 0 <= addr <= 0xFFFF and self._flags[addr] & _F_PERIPH != 0
 
     # ---- common handles ----------------------------------------------------
 

@@ -321,6 +321,72 @@ class TestInterrupts:
         assert record.kind.value == "instruction"  # deferred, not taken
 
 
+class TestAlignmentAndFaults:
+    """SLAU049 word-access alignment and top-of-address-space faults."""
+
+    def _raw_cpu(self):
+        bus = Bus()
+        cpu = Cpu(bus, InterruptController())
+        return cpu, bus
+
+    def test_word_read_ignores_low_address_bit(self):
+        _, bus = self._raw_cpu()
+        bus.poke_word(0x0200, 0xBEEF)
+        assert bus.read_word(0x0201) == 0xBEEF
+        assert bus.read_word(0x0200) == 0xBEEF
+
+    def test_word_write_ignores_low_address_bit(self):
+        _, bus = self._raw_cpu()
+        bus.write_word(0x0203, 0xCAFE)
+        assert bus.peek_word(0x0202) == 0xCAFE
+        assert bus.peek_byte(0x0204) == 0  # the next word is untouched
+        # The monitors see the aligned (architectural) address.
+        write = [a for a in bus.drain_trace() if a.kind.value == "write"][-1]
+        assert write.addr == 0x0202
+
+    def test_word_access_at_top_of_memory_is_aligned_not_fault(self):
+        _, bus = self._raw_cpu()
+        bus.poke_word(0xFFFE, 0x1234)
+        assert bus.read_word(0xFFFF) == 0x1234
+
+    def test_word_access_past_top_raises(self):
+        from repro.errors import MemoryAccessError
+
+        _, bus = self._raw_cpu()
+        with pytest.raises(MemoryAccessError):
+            bus.read_word(0x10000)
+        with pytest.raises(MemoryAccessError):
+            bus.write_word(0x10000, 1)
+
+    def test_odd_stack_pointer_pushes_to_aligned_word(self):
+        cpu, bus = self._raw_cpu()
+        cpu.set_reg(SP, 0x0A01)
+        cpu._push(0x5678)
+        assert cpu.sp == 0x09FF
+        assert bus.peek_word(0x09FE) == 0x5678
+
+    def test_extension_fetch_past_top_is_fault_step_not_crash(self):
+        # Regression: a two-word instruction whose first word sits at
+        # 0xFFFE fetches its extension word at 0x10000; that used to let
+        # MemoryAccessError escape Cpu.step and crash the simulator.
+        cpu, bus = self._raw_cpu()
+        first_word = 0x403A  # mov #imm, r10 -- extension word required
+        bus.poke_word(0xFFFE, first_word)
+        cpu.set_reg(0, 0xFFFE)
+        record = cpu.step()
+        assert record.kind.value == "illegal"
+        assert record.illegal_word == first_word
+        assert record.next_pc == 0xFFFE  # fault steps do not advance PC
+        assert record.cycles == 1
+
+    def test_extension_fetch_fault_is_stable_across_repeats(self):
+        cpu, bus = self._raw_cpu()
+        bus.poke_word(0xFFFE, 0x403A)
+        cpu.set_reg(0, 0xFFFE)
+        records = [cpu.step() for _ in range(3)]
+        assert all(r.kind.value == "illegal" for r in records)
+
+
 # ---- differential property tests against a Python reference -----------------
 
 @given(a=WORD, b=WORD)

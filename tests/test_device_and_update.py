@@ -70,6 +70,25 @@ class TestDeviceBasics:
         assert device.peek_word(0xE200) == before
         assert device.reset_count == 1
 
+    def test_violation_rolls_back_the_done_latch(self):
+        # Regression: a voided step's DONE write must not survive the
+        # rollback.  Injected code in DMEM writes DONE_PORT; executing
+        # it is itself the W-xor-X violation, so the harness latch set
+        # by the in-flight write has to be restored with the rest of
+        # the step's effects.
+        device = build_device(raw_program(GOOD_APP), security="casu")
+        shellcode = device.layout.dmem.start + 0x40
+        for index, word in enumerate((0x40B2, 0x00AA, 0x0070)):  # mov #0xAA, &DONE
+            device.bus.poke_word(shellcode + 2 * index, word)
+        device.cpu.set_reg(0, shellcode)
+        record, violation = device.step()
+        assert violation is not None
+        assert violation.reason is ViolationReason.W_XOR_X
+        assert device.harness.done is False
+        assert device.harness.done_value is None
+        assert device.harness.event_values("harness.done") == []
+        assert device.reset_count == 1
+
     def test_reset_restarts_at_reset_vector(self):
         app = GOOD_APP.replace("mov #42, &0x0200", "mov #0xdead, &0xe200")
         program = raw_program(app)

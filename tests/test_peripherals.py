@@ -139,6 +139,26 @@ class TestUart:
         uart.tick(50)
         assert [bus.read_word(P.UART_RX) for _ in range(3)] == [1, 2, 3]
 
+    def test_byte_wise_word_read_pops_fifo_once(self, bus):
+        # Regression: reading a side-effecting data register byte-wise
+        # (low byte then high byte, one logical word read) used to
+        # re-invoke the read handler for each byte, popping the RX FIFO
+        # twice.  The side effect fires only on the data (low) byte.
+        uart = attach(Uart(rx_schedule=[(10, 0x41), (20, 0x42)]), bus)
+        uart.tick(50)
+        low = bus.read_byte(P.UART_RX)
+        high = bus.read_byte(P.UART_RX + 1)
+        assert (low, high) == (0x41, 0x00)
+        assert len(uart._rx_fifo) == 1  # only one architectural pop
+        assert bus.read_word(P.UART_RX) == 0x42
+
+    def test_high_byte_read_has_no_side_effect(self, bus):
+        uart = attach(Uart(rx_schedule=[(10, 0x41)]), bus)
+        uart.tick(50)
+        bus.read_byte(P.UART_RX + 1)  # status-style peek at the high byte
+        assert len(uart._rx_fifo) == 1  # FIFO untouched
+        assert bus.read_word(P.UART_RX) == 0x41
+
 
 class TestLcd:
     def test_busy_window(self, bus):
