@@ -1,0 +1,100 @@
+"""Facade overhead gate: repro.api vs direct Device construction.
+
+The public scenario API must stay a zero-cost abstraction on the hot
+path: a ``Session`` run is spec validation + a cached firmware lookup +
+the very same ``Device`` inner loop.  This bench drives the
+monitored-run microbench (security="casu") both ways and asserts the
+facade adds < 5% wall-clock overhead.
+"""
+
+import gc
+import time
+
+from repro.api import FirmwareSpec, LimitsSpec, ScenarioSpec, Session
+from repro.api.firmware import build_firmware
+from repro.device import build_device
+
+FACADE_OVERHEAD_CEILING = 1.05  # the satellite gate: < 5%
+
+STEPS = 20_000
+REPS = 7
+
+# The step-loop shapes the Table IV apps hit (no DONE write: the run
+# is bounded by max_steps on both paths).
+_HOT_LOOP = """
+    .text
+    .global main
+main:
+    mov #0, r10
+loop:
+    add #1, r10
+    mov r10, &0x0200
+    add &0x0200, r11
+    bit #1, r11
+    jnz odd
+    xor #0x5a5a, r12
+odd:
+    cmp #0, r10
+    jnz loop
+    jmp loop
+"""
+
+_FIRMWARE = FirmwareSpec(kind="asm", source=_HOT_LOOP, variant="original",
+                         name="bench-api", link_rom=False)
+
+
+def _spec():
+    return ScenarioSpec(
+        name="bench-api",
+        firmware=_FIRMWARE,
+        security="casu",
+        limits=LimitsSpec(max_cycles=100_000_000, max_steps=STEPS),
+    )
+
+
+def _direct_run(program):
+    device = build_device(program, security="casu")
+    result = device.run_steps(STEPS, stop_on_done=True)
+    assert result.steps == STEPS
+    return result
+
+
+def _facade_run():
+    outcome = Session(_spec()).run()
+    assert outcome.steps == STEPS
+    return outcome
+
+
+def _timed(fn, *args):
+    started = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - started
+
+
+def test_bench_facade_overhead(benchmark):
+    program = build_firmware(_FIRMWARE).program
+    _direct_run(program)  # warm both paths (decode cache is per-device,
+    _facade_run()         # but parse/build caches are process-wide)
+
+    # Interleave the two paths so machine-load drift hits both equally,
+    # and compare best-of (the runs execute the identical inner loop).
+    direct = facade = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(REPS):
+            direct = min(direct, _timed(_direct_run, program))
+            facade = min(facade, _timed(_facade_run))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    ratio = facade / direct
+    benchmark.extra_info["direct_s"] = round(direct, 4)
+    benchmark.extra_info["facade_s"] = round(facade, 4)
+    benchmark.extra_info["ratio"] = round(ratio, 4)
+    benchmark.pedantic(_facade_run, rounds=1, iterations=1)
+    print(f"\nfacade {facade:.4f}s vs direct {direct:.4f}s "
+          f"(ratio {ratio:.3f}, monitored {STEPS} steps)")
+    assert ratio < FACADE_OVERHEAD_CEILING, (
+        f"facade run is {100 * (ratio - 1):.1f}% slower than direct "
+        f"Device construction (gate: <5%)")

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Attack demo: the same exploit against three devices.
+"""Attack demo: the same exploits as declarative scenarios.
 
 A telemetry node has a privileged ``unlock()`` routine.  The attacker
 exploits a memory-vulnerability (modelled as a surgical stack write) to
-redirect ``process()``'s return address at it -- the entry step of a
-return-oriented attack.
+redirect control flow at it.  Each attack is just a ``ScenarioSpec``
+with an ``attack`` field -- the same document shape that drives app
+runs and fleets -- executed at three security levels:
 
 * baseline (no RoT)  -> hijacked: unlock's 0xAA marker appears on GPIO
 * CASU               -> hijacked too: code is immutable, but control
@@ -13,35 +14,47 @@ return-oriented attack.
                         the device resets; the marker never appears.
 """
 
-from repro.attacks import (
-    interrupt_context_tamper,
-    pointer_bend_to_valid_function,
-    pointer_hijack,
-    return_address_smash,
-)
+from repro.api import ScenarioSpec, Session
 
 
 def banner(text):
     print(f"\n=== {text} ===")
 
 
+def launch(attack, security) -> Session:
+    session = Session(ScenarioSpec(name=attack, attack=attack,
+                                   security=security))
+    session.run()
+    return session
+
+
 def main():
     banner("backward edge: return-address smash (P1)")
     for security in ("none", "casu", "eilid"):
-        print(f"  {security:6s}: {return_address_smash(security)}")
+        print(f"  {security:6s}: "
+              f"{launch('return_address_smash', security).attack_result}")
 
     banner("interrupt context tamper (P2)")
     for security in ("none", "casu", "eilid"):
-        print(f"  {security:6s}: {interrupt_context_tamper(security)}")
+        print(f"  {security:6s}: "
+              f"{launch('interrupt_context_tamper', security).attack_result}")
 
     banner("forward edge: function-pointer hijack to a mid-function gadget (P3)")
     for security in ("none", "casu", "eilid"):
-        print(f"  {security:6s}: {pointer_hijack(security)}")
+        print(f"  {security:6s}: "
+              f"{launch('pointer_hijack', security).attack_result}")
 
     banner("forward edge: bend to ANOTHER VALID function entry")
     print("  (function-level CFI admits this by design -- paper Sec. IV-A)")
     for security in ("none", "eilid"):
-        print(f"  {security:6s}: {pointer_bend_to_valid_function(security)}")
+        print(f"  {security:6s}: "
+              f"{launch('pointer_bend_to_valid_function', security).attack_result}")
+
+    banner("the outcome is typed and serialisable")
+    outcome = launch("return_address_smash", "eilid").run()
+    print(f"  outcome={outcome.attack.outcome} "
+          f"detected={outcome.attack.detected} ok={outcome.ok}")
+    assert outcome.to_dict()["attack"]["detected"]
 
     print("\nsummary: EILID converts every out-of-policy control transfer "
           "into a reset before the hijacked instruction executes.")

@@ -1,36 +1,28 @@
 """Trace attestation end to end, in one sitting.
 
-1. Build the fire-sensor app (EILID variant), recover its CFG from the
-   *linked binary* and compile the CFI policy artifact.
+1. Build the fire-sensor app (EILID variant) through the public API,
+   recover its CFG from the *linked binary* and compile the CFI policy
+   artifact.
 2. Cross-check the binary-derived policy against the instrumenter's
    listing-derived view (the Fig. 2 contract).
 3. Run the app and replay its recorded branch trace -- benign evidence
-   replays clean.
+   replays clean (``Session.verify()``).
 4. Launch the same attacks the paper defends against at an undefended
    baseline device and watch the *verifier* catch each one from the
-   trace alone.
+   trace alone -- each attack is one declarative scenario.
 
 Run with:  PYTHONPATH=src python examples/cfg_demo.py
 """
 
-from repro.apps.registry import APPS
-from repro.apps.runtime import build_app, run_app
-from repro.attacks import (
-    code_injection,
-    interrupt_context_tamper,
-    pointer_hijack,
-    return_address_smash,
-)
-from repro.cfg import diff_against_listing, policy_for_program, recover_cfg, replay_trace
-from repro.eilid.iterbuild import IterativeBuild
+from repro.api import FirmwareSpec, ScenarioSpec, Session, build_firmware
+from repro.cfg import diff_against_listing, policy_for_program, recover_cfg
 
 
 def main():
-    builder = IterativeBuild()
-    spec = APPS["fire_sensor"]
+    firmware = FirmwareSpec(kind="app", app="fire_sensor", variant="eilid")
 
     print("== 1. recover the CFG from the linked binary ==")
-    build = build_app(spec, "eilid", builder)
+    build = build_firmware(firmware)
     cfg = recover_cfg(build.program)
     policy = policy_for_program(build.program)
     print(f"{cfg.name}: {len(cfg.insns)} instructions, "
@@ -44,20 +36,28 @@ def main():
     print("divergences:", divergences if divergences else "none -- views agree")
 
     print("\n== 3. benign run replays clean ==")
-    run = run_app(spec, "eilid", builder)
-    snapshot = run.device.trace_snapshot()
+    session = Session(ScenarioSpec(name="fire_sensor", firmware=firmware,
+                                   security="eilid"))
+    run = session.run()
+    print(f"{run.scenario}: done={run.done} cycles={run.cycles}")
+    verdict = session.verify()
+    snapshot = session.device.trace_snapshot()
     print(f"recorded {snapshot.total} edges ({snapshot.dropped} dropped), "
           f"digest {snapshot.digest_hex}")
-    print(replay_trace(policy, snapshot))
+    print(f"replay ok={verdict.ok} ({verdict.edges_checked} edges checked)")
+    assert verdict.ok
 
     print("\n== 4. the verifier catches what an undefended device misses ==")
-    for attack in (return_address_smash, pointer_hijack,
-                   code_injection, interrupt_context_tamper):
-        result = attack("none")  # baseline: the hijack actually executes
-        victim_policy = policy_for_program(result.device.program)
-        verdict = replay_trace(victim_policy, result.device.trace_snapshot())
-        print(f"{result.name:26s} device: {result.outcome.value:9s} "
-              f"verifier: {verdict}")
+    for attack in ("return_address_smash", "pointer_hijack",
+                   "code_injection", "interrupt_context_tamper"):
+        # baseline security: the hijack actually executes on-device
+        victim = Session(ScenarioSpec(name=attack, attack=attack,
+                                      security="none"))
+        outcome = victim.run()
+        verdict = victim.verify()
+        assert not verdict.ok
+        print(f"{attack:26s} device: {outcome.attack.outcome:9s} "
+              f"verifier: REJECTED ({verdict.reason})")
 
 
 if __name__ == "__main__":

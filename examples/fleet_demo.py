@@ -2,10 +2,13 @@
 """The verifier's day: enroll a fleet, watch it, update it, survive attacks.
 
 Walks the whole fleet subsystem end to end on a few hundred simulated
-EILID devices:
+EILID devices, driven through the public scenario API: one declarative
+``ScenarioSpec`` with a ``fleet`` section, one ``Session`` managing the
+population across every phase.
 
 1. enroll devices over a lossy, reordering channel;
-2. collect authenticated heartbeats (firmware hash + violation log);
+2. collect authenticated heartbeats (firmware hash + violation log),
+   streamed one device at a time -- no materialised result lists;
 3. stage a firmware rollout in canary waves -- every device runs the
    real authenticated update path, ROM copy included;
 4. let a man-in-the-middle tamper with a fleet-wide share of packages
@@ -14,50 +17,59 @@ EILID devices:
 6. corrupt one device's firmware and watch attestation quarantine it.
 """
 
-from repro.fleet import CampaignConfig, FleetSimulation
+from repro.api import FleetSpec, RolloutSpec, ScenarioSpec, Session
 
 FLEET = 200
 
 
 def main():
     print(f"1. enrolling {FLEET} devices (5% loss, 10% reordering):")
-    fleet = FleetSimulation(size=FLEET, loss=0.05, reorder=0.10, seed=42,
-                            max_attempts=8)
-    enrolled = sum(1 for record in fleet.registry
-                   if record.firmware_hash is not None)
-    print(f"   -> {enrolled}/{FLEET} enrolled, golden hashes pinned")
+    session = Session(ScenarioSpec(
+        name="fleet-demo",
+        security="casu",
+        fleet=FleetSpec(size=FLEET, loss=0.05, reorder=0.10, seed=42,
+                        max_attempts=8),
+    ))
+    outcome = session.run()
+    print(f"   -> {outcome.fleet.enrolled}/{FLEET} enrolled, "
+          f"golden hashes pinned")
 
-    print("2. heartbeat sweep:")
-    results = fleet.attest_all()
-    ok = sum(1 for result in results.values() if result.ok)
-    retried = sum(1 for result in results.values() if result.attempts > 1)
+    print("2. heartbeat sweep (streamed, one device at a time):")
+    retried = ok = 0
+    for record in session.attest_stream():
+        ok += record.ok
+        retried += record.attempts > 1
     print(f"   -> {ok}/{FLEET} attested ok ({retried} needed retries)")
 
     print("3. staged rollout to v1 (5% canary, 25%, 100%):")
-    report = fleet.rollout(version=1)
-    print("   " + report.render().replace("\n", "\n   "))
-    assert not report.halted
+    rollout = session.rollout(RolloutSpec(version=1))
+    print("   " + session.campaign_report.render().replace("\n", "\n   "))
+    assert not rollout.halted
 
     print("4. rollout to v2 with a MITM tampering 8% of packages:")
-    report = fleet.rollout(version=2, tamper_fraction=0.08,
-                           config=CampaignConfig(failure_threshold=0.20))
+    rollout = session.rollout(RolloutSpec(
+        version=2, tamper_fraction=0.08, failure_threshold=0.20))
+    report = session.campaign_report
     print("   " + report.render().replace("\n", "\n   "))
-    assert report.waves and not report.halted
+    assert report.waves and not rollout.halted
     rejected = sum(wave.statuses["rejected-bad-mac"] for wave in report.waves)
     print(f"   -> every tampered package rejected by the device MAC check "
           f"({rejected} rejections, offenders quarantined)")
+    assert rollout.to_dict()["status"] == "complete"  # JSON-clean outcome
 
     print("5. rollout to v3 with 50% tampering -- the canary wave trips:")
-    report = fleet.rollout(version=3, tamper_fraction=0.5)
-    print("   " + report.render().replace("\n", "\n   "))
-    assert report.halted and report.skipped > 0
+    rollout = session.rollout(RolloutSpec(version=3, tamper_fraction=0.5))
+    print("   " + session.campaign_report.render().replace("\n", "\n   "))
+    assert rollout.halted and rollout.skipped > 0
 
+    fleet = session.fleet  # the underlying simulation, for fault injection
     print("6. post-rollout heartbeat sweep re-pins the new firmware hashes:")
-    results = fleet.attest_all(fleet.registry.manageable_ids())
+    ids = fleet.registry.manageable_ids()
+    results = fleet.attest_all(ids)
     print(f"   -> {sum(1 for r in results.values() if r.ok)}/{len(results)} ok")
 
     print("7. one device's firmware gets corrupted in the field:")
-    victim = fleet.registry.manageable_ids()[7]
+    victim = ids[7]
     fleet.corrupt_firmware(victim)
     result = fleet.attest_all([victim])[victim]
     print(f"   -> attest({victim}): {result.detail}; "

@@ -1,33 +1,27 @@
 #!/usr/bin/env python3
 """Regenerate every table and figure of the paper in one run.
 
-Equivalent to ``eilid tables && eilid figure10 && eilid micro``; takes
-a couple of minutes because Table IV rebuilds and re-runs all seven
-applications.
+Drives the CLI adapters (which sit on top of :mod:`repro.api`), so
+this is exactly ``eilid tables && eilid figure10 && eilid micro``;
+takes a couple of minutes because Table IV rebuilds and re-runs all
+seven applications.
+
+Usage: ``python examples/paper_tables.py [repeats]`` -- *repeats*
+defaults to 3 (the CI smoke job passes 1).
 """
 
-from repro.eval import (
-    measure_table4,
-    render_figure10,
-    render_micro,
-    render_table1,
-    render_table2,
-    render_table3,
-    render_table4,
-)
+import sys
+
+from repro.cli import main as eilid
 
 
-def main():
-    for render in (render_table1, render_table2, render_table3):
-        print(render())
-        print()
-    print(render_figure10())
+def main(repeats: int = 3):
+    assert eilid(["tables", "--repeats", str(repeats)]) == 0
     print()
-    print(render_micro())
+    assert eilid(["figure10"]) == 0
     print()
-    print("measuring Table IV (7 apps x 2 variants x 3 repeats) ...")
-    print(render_table4(measure_table4(repeats=3)))
+    assert eilid(["micro"]) == 0
 
 
 if __name__ == "__main__":
-    main()
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3)

@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
-"""Quickstart: compile, instrument, and run a program under EILID.
+"""Quickstart: one declarative spec drives the whole EILID pipeline.
 
-Covers the full pipeline of the paper's Fig. 1/Fig. 2 in ~40 lines:
-mini-C -> assembly -> three-iteration instrumented build -> EILID
-device -> monitored execution.
+The public API (:mod:`repro.api`) reduces the paper's Fig. 1/Fig. 2
+flow -- mini-C -> assembly -> three-iteration instrumented build ->
+EILID device -> monitored execution -> attestation -> verifier-side
+trace replay -- to a single ``ScenarioSpec`` and one ``run_scenario``
+call.  Every stage returns a typed result with ``to_dict()``, so the
+same scenario works as a JSON config document too.
 """
 
-from repro.device import build_device
-from repro.eilid.iterbuild import IterativeBuild
-from repro.minicc import compile_c
+import json
+
+from repro.api import FirmwareSpec, ScenarioSpec, run_scenario
 
 APP_C = """
 int total;
@@ -28,27 +31,39 @@ void main() {
 
 
 def main():
-    print("1. compiling mini-C to MSP430 assembly ...")
-    asm = compile_c(APP_C, "quickstart")
+    spec = ScenarioSpec(
+        name="quickstart",
+        firmware=FirmwareSpec(kind="minicc", source=APP_C,
+                              variant="eilid", name="quickstart"),
+        security="eilid",
+    )
+    print("1. the scenario, as a serialisable document:")
+    print(f"   {json.dumps({k: v for k, v in spec.to_dict().items() if k != 'firmware'})}")
 
-    print("2. running the three-iteration instrumented build (Fig. 2) ...")
-    builder = IterativeBuild()
-    result = builder.build_eilid(asm, "quickstart.s", verify_convergence=True)
-    report = result.report
-    print(f"   builds: {result.build_count} (fixed point verified)")
-    print(f"   instrumented: {report.direct_calls} call site(s), "
-          f"{report.returns} return(s), +{report.inserted_bytes} bytes")
+    print("2. run_scenario: build -> run -> attest -> verify ...")
+    result = run_scenario(spec)
 
-    print("3. booting the EILID-enabled device ...")
-    device = build_device(result.final.program, security="eilid")
-    run = device.run(max_cycles=200_000)
+    build = result.build
+    print(f"   builds: {build.build_count} (Fig. 2 iteration), "
+          f"instrumented: {build.instrumented_calls} call site(s), "
+          f"{build.instrumented_returns} return(s), "
+          f"+{build.inserted_bytes} bytes")
 
-    print(f"4. done={run.done} value={run.done_value} "
+    run = result.run
+    print(f"3. done={run.done} value={run.done_value} "
           f"(expect {sum(range(1, 11)) * 2 + 0})")
     print(f"   cycles={run.cycles} ({run.run_time_us:.1f} us @ 100 MHz), "
           f"violations={len(run.violations)}")
+
+    print(f"4. attested firmware hash "
+          f"{result.attest.report['firmware_hash'][:16]}..., "
+          f"trace replay: ok={result.verify.ok} "
+          f"({result.verify.edges_checked} edges)")
+
     assert run.done and not run.violations
     assert run.done_value == 110
+    assert result.ok
+    json.dumps(result.to_dict())  # every outcome is JSON-clean
     print("quickstart OK")
 
 

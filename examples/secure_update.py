@@ -6,12 +6,14 @@ is verified (HMAC + monotonic version), staged into RAM, and copied
 into program memory by the trusted ROM routine while the hardware
 monitor's update session is open.  Every other path to PMEM resets the
 device.
+
+The device itself comes from the public API: a raw-assembly
+``FirmwareSpec`` (with the trusted ROM linked in) booted at the
+``casu`` security level.
 """
 
+from repro.api import FirmwareSpec, ScenarioSpec, Session
 from repro.casu.update import UpdateKey, UpdatePackage
-from repro.device import build_device
-from repro.eilid.iterbuild import IterativeBuild
-from repro.toolchain.build import SourceModule
 
 APP = """
     .text
@@ -24,15 +26,15 @@ l:
 
 
 def make_device():
-    builder = IterativeBuild()
-    modules = [
-        SourceModule("crt0.s", builder.trusted.crt0_source(eilid_enabled=False)),
-        SourceModule("app.s", APP, is_app=True),
-        SourceModule("eilid_rom.s", builder.trusted.rom_source()),
-    ]
-    build = builder.pipeline.build(modules, name="update-demo")
-    key = UpdateKey.derive("update-demo")
-    return build_device(build.program, security="casu", update_key=key), key
+    session = Session(ScenarioSpec(
+        name="update-demo",
+        firmware=FirmwareSpec(kind="asm", source=APP, variant="original",
+                              name="update-demo", link_rom=True),
+        security="casu",
+    ))
+    # The device keys its engine from the program name, so the demo can
+    # derive the same per-device key to sign packages with.
+    return session.device, UpdateKey.derive("update-demo")
 
 
 def main():

@@ -2,48 +2,60 @@
 """Sensor-node walkthrough: a Table IV application end to end.
 
 Runs the Fire Sensor (the paper's most demanding app: two ADC channels,
-a timer ISR, and an indirect alarm dispatch) in both variants, shows
-that the observable behaviour is identical, and prints the measured
-overhead next to the paper's Table IV row.
+a timer ISR, and an indirect alarm dispatch) in both variants through
+the public scenario API, shows that the observable behaviour is
+identical, and prints the measured overhead next to the paper's
+Table IV row.
 """
 
-from repro.apps import get_app, run_app
-from repro.apps.runtime import build_app
+from repro.api import FirmwareSpec, ScenarioSpec, Session
+from repro.apps import get_app
 from repro.eval.paper_data import PAPER_TABLE4
+
+
+def session_for(variant):
+    return Session(ScenarioSpec(
+        name=f"fire_sensor-{variant}",
+        firmware=FirmwareSpec(kind="app", app="fire_sensor", variant=variant),
+        security="eilid" if variant == "eilid" else "none",
+    ))
 
 
 def main():
     spec = get_app("fire_sensor")
     print(f"app: {spec.title} -- {spec.description}")
 
-    original = run_app(spec, "original")
-    eilid = run_app(spec, "eilid")
-    build_orig = build_app(spec, "original")
-    build_eilid = build_app(spec, "eilid")
+    sessions = {variant: session_for(variant)
+                for variant in ("original", "eilid")}
+    runs = {variant: session.run() for variant, session in sessions.items()}
+    builds = {variant: session.build() for variant, session in sessions.items()}
+    original, eilid = runs["original"], runs["eilid"]
 
     print(f"\noriginal: {original.cycles} cycles ({original.run_time_us:.0f} us)")
     print(f"EILID:    {eilid.cycles} cycles ({eilid.run_time_us:.0f} us), "
           f"violations={len(eilid.violations)}")
 
     assert original.done and eilid.done and not eilid.violations
-    same_output = original.output_events() == eilid.output_events()
+    same_output = (sessions["original"].device.output_events()
+                   == sessions["eilid"].device.output_events())
     print(f"observable output identical: {same_output}")
     assert same_output
 
+    size_orig = builds["original"].app_code_bytes
+    size_eilid = builds["eilid"].app_code_bytes
     run_pct = 100.0 * (eilid.cycles - original.cycles) / original.cycles
-    size_pct = 100.0 * (build_eilid.app_code_bytes - build_orig.app_code_bytes) \
-        / build_orig.app_code_bytes
+    size_pct = 100.0 * (size_eilid - size_orig) / size_orig
     paper = PAPER_TABLE4[spec.name]
     print(f"\n              measured   paper")
     print(f"run overhead  {run_pct:7.2f}%  {paper.run_overhead_pct:6.2f}%")
     print(f"size overhead {size_pct:7.2f}%  {paper.size_overhead_pct:6.2f}%")
-    print(f"binary bytes  {build_orig.app_code_bytes}/{build_eilid.app_code_bytes}   "
+    print(f"binary bytes  {size_orig}/{size_eilid}   "
           f"{paper.size_bytes_orig}/{paper.size_bytes_eilid}")
 
-    alarms = eilid.done_value
-    ticks = eilid.device.peripherals["timer"].fire_count
-    print(f"\nscenario: {alarms} alarm activations, {ticks} watchdog ticks, "
-          f"{eilid.device.peripherals['adc'].sample_count} ADC conversions")
+    device = sessions["eilid"].device
+    print(f"\nscenario: {eilid.done_value} alarm activations, "
+          f"{device.peripherals['timer'].fire_count} watchdog ticks, "
+          f"{device.peripherals['adc'].sample_count} ADC conversions")
 
 
 if __name__ == "__main__":

@@ -13,16 +13,17 @@ compilation, branch-trace replay), and a fleet subsystem
 (:mod:`repro.fleet`) that enrolls, attests and updates thousands of
 simulated devices from the verifier side.
 
-Quickstart::
+Quickstart (the public scenario API, :mod:`repro.api`)::
 
-    from repro.minicc import compile_c
-    from repro.eilid.iterbuild import IterativeBuild
-    from repro.device import build_device
+    from repro.api import FirmwareSpec, ScenarioSpec, run_scenario
 
-    asm = compile_c(open("app.c").read(), "app")
-    result = IterativeBuild().build_eilid(asm, "app.s")
-    device = build_device(result.final.program, security="eilid")
-    print(device.run())
+    spec = ScenarioSpec(
+        firmware=FirmwareSpec(kind="minicc", variant="eilid",
+                              source=open("app.c").read()),
+        security="eilid",
+    )
+    result = run_scenario(spec)  # build -> run -> attest -> verify
+    print(result.run.cycles, result.ok, result.to_dict())
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.

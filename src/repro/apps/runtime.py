@@ -3,6 +3,14 @@
 ``run_app`` is the measurement unit behind Table IV's "running time"
 column: the device executes the app's scripted scenario until the DONE
 write, and the elapsed cycle count at 100 MHz gives microseconds.
+
+.. deprecated::
+    ``build_app``/``run_app`` remain as thin shims for the evaluation
+    harness (which times builds with its own throwaway builders).  New
+    workloads should go through :mod:`repro.api` --
+    ``ScenarioSpec(firmware=FirmwareSpec(kind="app", ...))`` runs the
+    same pipeline and shares the process-wide build cache; ``run_app``
+    without an explicit *builder* routes through it.
 """
 
 from dataclasses import dataclass
@@ -31,11 +39,7 @@ class AppRun:
 
     def output_events(self):
         """Observable I/O trace (for original-vs-EILID equivalence)."""
-        events = []
-        for peripheral in self.device.peripherals.values():
-            events.extend(peripheral.events)
-        events.sort(key=lambda e: (e.cycle, e.port))
-        return [(e.port, e.value) for e in events if e.port != "harness.done"]
+        return self.device.output_events()
 
 
 def build_app(spec, variant="original", builder: Optional[IterativeBuild] = None,
@@ -57,10 +61,43 @@ def build_app(spec, variant="original", builder: Optional[IterativeBuild] = None
 
 def run_app(spec, variant="original", builder: Optional[IterativeBuild] = None,
             security: Optional[str] = None, max_cycles: Optional[int] = None) -> AppRun:
-    """Build and execute one application to its DONE hand-off."""
-    build = build_app(spec, variant, builder)
+    """Build and execute one application to its DONE hand-off.
+
+    Without an explicit *builder* this routes through the public
+    scenario API (shared, cached firmware builds); passing a builder
+    keeps the caller in control of build state (the evaluation harness
+    times cold builds that way).
+    """
+    from repro.apps.registry import APPS
+
     if security is None:
         security = "eilid" if variant == "eilid" else "none"
+    if builder is None and APPS.get(spec.name) is spec:
+        from repro.api import (
+            FirmwareSpec,
+            LimitsSpec,
+            ScenarioSpec,
+            Session,
+        )
+
+        session = Session(ScenarioSpec(
+            name=spec.name,
+            firmware=FirmwareSpec(kind="app", app=spec.name, variant=variant),
+            security=security,
+            limits=LimitsSpec(max_cycles=max_cycles or spec.max_cycles),
+        ))
+        outcome = session.run()
+        return AppRun(
+            app_name=spec.name,
+            variant=variant,
+            device=session.device,
+            cycles=outcome.cycles,
+            done=outcome.done,
+            done_value=outcome.done_value,
+            # the raw RunResult's complete list, not the bounded ring
+            violations=session.run_result.violations,
+        )
+    build = build_app(spec, variant, builder)
     device = build_device(build.program, security=security,
                           peripherals=spec.make_peripherals())
     result = device.run(max_cycles=max_cycles or spec.max_cycles)

@@ -24,10 +24,44 @@ from repro.attacks.injection import (
     rom_mid_entry_jump,
 )
 
+# The scenario registry: every launchable attack by name.  This is the
+# set repro.api validates ScenarioSpec.attack against and the CLI's
+# ``attack`` subcommand dispatches through.
+ATTACKS = {
+    "return_address_smash": return_address_smash,
+    "interrupt_context_tamper": interrupt_context_tamper,
+    "pointer_hijack": pointer_hijack,
+    "pointer_bend_to_valid_function": pointer_bend_to_valid_function,
+    "code_injection": code_injection,
+    "pmem_overwrite": pmem_overwrite,
+    "shadow_stack_tamper": shadow_stack_tamper,
+    "rom_mid_entry_jump": rom_mid_entry_jump,
+}
+
+
+def attack_firmware_spec(attack: str, security: str):
+    """The firmware an attack scenario actually executes.
+
+    The raw-assembly monitor-level attacks carry their own images
+    (:data:`repro.attacks.injection.RAW_ATTACK_FIRMWARE`); everything
+    else corrupts the standard C victim, instrumented only on EILID
+    devices.  ``Session.build()`` reports artifacts from this spec.
+    """
+    from repro.attacks.injection import RAW_ATTACK_FIRMWARE
+    from repro.attacks.victims import victim_firmware_spec
+
+    spec = RAW_ATTACK_FIRMWARE.get(attack)
+    if spec is not None:
+        return spec
+    return victim_firmware_spec("eilid" if security == "eilid" else "original")
+
+
 __all__ = [
+    "ATTACKS",
     "AttackOutcome",
     "AttackResult",
     "AttackHarness",
+    "attack_firmware_spec",
     "return_address_smash",
     "interrupt_context_tamper",
     "pointer_hijack",

@@ -10,8 +10,8 @@
   ROM, bypassing the entry section (ROM atomicity).
 """
 
-import functools
-
+from repro.api.firmware import device_for
+from repro.api.spec import FirmwareSpec
 from repro.attacks.harness import AttackHarness, AttackOutcome, AttackResult
 from repro.attacks.victims import (
     PMEM_WRITER_ASM,
@@ -19,8 +19,6 @@ from repro.attacks.victims import (
     SECURE_RAM_READER_ASM,
     UNLOCK_MARKER,
 )
-from repro.device import build_device
-from repro.eilid.iterbuild import IterativeBuild
 from repro.peripherals.ports import GPIO_OUT
 
 # Hand-assembled shellcode: `mov #0xAA, &GPIO_OUT ; jmp $`
@@ -48,27 +46,26 @@ def code_injection(security: str) -> AttackResult:
     )
 
 
-@functools.lru_cache(maxsize=None)
-def _raw_asm_build(source, link_eilid_runtime):
-    """Assemble a hand-written firmware once per process (the build is
-    immutable; each attack run gets its own device)."""
-    from repro.toolchain.build import SourceModule
+# The hand-written firmwares as declarative specs (the repro.api build
+# path caches the immutable images once per process; each attack run
+# gets its own device).  Also consulted by Session.build() so attack
+# scenarios report the image that actually executed.
+RAW_ATTACK_FIRMWARE = {
+    "pmem_overwrite": FirmwareSpec(
+        kind="asm", source=PMEM_WRITER_ASM, variant="original",
+        name="raw-attack", link_rom=False),
+    "shadow_stack_tamper": FirmwareSpec(
+        kind="asm", source=SECURE_RAM_READER_ASM, variant="original",
+        name="raw-attack", link_rom=False),
+    "rom_mid_entry_jump": FirmwareSpec(
+        kind="asm", source=ROM_JUMP_ASM, variant="original",
+        name="raw-attack", link_rom=True),
+}
 
-    builder = IterativeBuild()
-    modules = [
-        SourceModule("crt0.s", builder.trusted.crt0_source(eilid_enabled=False)),
-        SourceModule("attack.s", source, is_app=True),
-    ]
-    if link_eilid_runtime:
-        modules.append(SourceModule("eilid_rom.s", builder.trusted.rom_source()))
-    return builder.pipeline.build(modules, name="raw-attack")
 
-
-def _run_raw_asm(source, security, link_eilid_runtime=True):
+def _run_raw_asm(attack_name, security):
     """Build a hand-written firmware (attacker-controlled binary)."""
-    build = _raw_asm_build(source, link_eilid_runtime)
-    device = build_device(build.program, security=security)
-    return device
+    return device_for(RAW_ATTACK_FIRMWARE[attack_name], security)
 
 
 def _classify_raw(name, security, device, succeeded_detail):
@@ -83,7 +80,7 @@ def _classify_raw(name, security, device, succeeded_detail):
 
 
 def pmem_overwrite(security: str) -> AttackResult:
-    device = _run_raw_asm(PMEM_WRITER_ASM, security, link_eilid_runtime=False)
+    device = _run_raw_asm("pmem_overwrite", security)
     before = device.peek_word(0xE002)
     result = _classify_raw("pmem-overwrite", security, device, "code region modified")
     if result.outcome is AttackOutcome.HIJACKED and device.peek_word(0xE002) == before:
@@ -92,12 +89,12 @@ def pmem_overwrite(security: str) -> AttackResult:
 
 
 def shadow_stack_tamper(security: str) -> AttackResult:
-    device = _run_raw_asm(SECURE_RAM_READER_ASM, security, link_eilid_runtime=False)
+    device = _run_raw_asm("shadow_stack_tamper", security)
     return _classify_raw(
         "shadow-stack-tamper", security, device, "shadow stack read+written"
     )
 
 
 def rom_mid_entry_jump(security: str) -> AttackResult:
-    device = _run_raw_asm(ROM_JUMP_ASM, security, link_eilid_runtime=True)
+    device = _run_raw_asm("rom_mid_entry_jump", security)
     return _classify_raw("rom-mid-entry-jump", security, device, "rom internals reached")

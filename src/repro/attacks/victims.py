@@ -6,10 +6,10 @@ pattern (0xAA) that serves as the hijack evidence.  ``process`` is the
 function whose activation record the attacker corrupts.
 """
 
-import functools
 from typing import Optional
 
-from repro.device import build_device
+from repro.api.firmware import build_firmware, device_for
+from repro.api.spec import FirmwareSpec
 from repro.eilid.iterbuild import IterativeBuild
 from repro.minicc import compile_c
 from repro.peripherals import Adc, AdcSchedule
@@ -109,15 +109,16 @@ def _build_victim_with(builder: IterativeBuild, variant: str):
     return builder.build_original(asm, "victim.s")
 
 
-@functools.lru_cache(maxsize=None)
-def _victim_build(variant: str):
-    """Compile the victim firmware once per process per variant.
+def victim_firmware_spec(variant: str) -> FirmwareSpec:
+    """The victim firmware as a declarative spec (repro.api's path).
 
-    The build artifacts are immutable (devices copy the image into
-    their own bus), so every attack scenario can share them; only the
-    device itself must be fresh.
+    Going through the spec means the build is cached process-wide by
+    :func:`repro.api.firmware.build_firmware` -- the artifacts are
+    immutable (devices copy the image into their own bus), so every
+    attack scenario shares them; only the device itself must be fresh.
     """
-    return _build_victim_with(IterativeBuild(), variant)
+    return FirmwareSpec(kind="minicc", source=VICTIM_C, variant=variant,
+                        name="victim")
 
 
 def build_victim(security: str, builder: Optional[IterativeBuild] = None):
@@ -127,7 +128,13 @@ def build_victim(security: str, builder: Optional[IterativeBuild] = None):
     run the original (they have no EILID runtime to call into).
     """
     variant = "eilid" if security == "eilid" else "original"
-    build = (_victim_build(variant) if builder is None
-             else _build_victim_with(builder, variant))
-    device = build_device(build.program, security=security, peripherals=victim_adc())
-    return device, build
+    if builder is not None:
+        build = _build_victim_with(builder, variant)
+        from repro.device import build_device
+
+        device = build_device(build.program, security=security,
+                              peripherals=victim_adc())
+        return device, build
+    spec = victim_firmware_spec(variant)
+    device = device_for(spec, security, peripherals=victim_adc())
+    return device, build_firmware(spec)

@@ -1,5 +1,10 @@
 """Command-line interface: ``eilid <command>``.
 
+Every subcommand is a thin adapter over the public scenario API
+(:mod:`repro.api`): flags are folded into a declarative
+:class:`~repro.api.ScenarioSpec`, a :class:`~repro.api.Session` runs
+the pipeline, and the typed outcome decides the exit code.
+
 Commands:
 
 * ``tables [--table N] [--repeats N]`` -- regenerate paper tables
@@ -16,12 +21,17 @@ Commands:
   compilation/cross-check, and branch-trace replay
   (see :mod:`repro.cfg`).
 
+Every subcommand accepts ``--json``: instead of the human-readable
+text it emits one JSON document that parses cleanly and carries
+``schema`` and ``version`` keys (the result-dataclass envelopes from
+:mod:`repro.api.results`).  Exit codes are unchanged by ``--json``.
+
 Exit codes (consistent across subcommands):
 
 * ``0`` -- success: the requested run completed and nothing bad
   happened (an attack was contained, properties hold, the app ran
   clean, a rollout completed).
-* ``1`` -- usage error: unknown app/attack name.
+* ``1`` -- usage error: unknown app/attack name, bad flag values.
 * ``2`` -- security failure: an attack hijacked the device, a
   verification property failed, an app run tripped violations or never
   finished, or fleet devices could not be enrolled/attested.
@@ -29,6 +39,7 @@ Exit codes (consistent across subcommands):
 """
 
 import argparse
+import json
 import sys
 
 EXIT_OK = 0
@@ -37,7 +48,29 @@ EXIT_SECURITY = 2
 EXIT_HALTED = 3
 
 
+class _UsageError(Exception):
+    """Bad names or flag values; rendered as a clean message + exit 1."""
+
+
+def _print_json(doc: dict):
+    print(json.dumps(doc, sort_keys=False))
+
+
+def _session(spec):
+    """Build a Session, translating spec validation into usage errors."""
+    from repro.api import Session, SpecError
+
+    try:
+        return Session(spec)
+    except SpecError as error:
+        raise _UsageError(str(error)) from None
+
+
+# ---- paper evaluation ------------------------------------------------------
+
+
 def _cmd_tables(args):
+    from repro.api import envelope
     from repro.eval import (
         measure_table4,
         render_table1,
@@ -47,70 +80,147 @@ def _cmd_tables(args):
     )
 
     wanted = args.table
-    if wanted in (None, 1):
-        print(render_table1() + "\n")
-    if wanted in (None, 2):
-        print(render_table2() + "\n")
-    if wanted in (None, 3):
-        print(render_table3() + "\n")
+    sections = {}
+    texts = []
+    for number, render in ((1, render_table1), (2, render_table2),
+                           (3, render_table3)):
+        if wanted in (None, number):
+            text = render()
+            texts.append(text)
+            sections[f"table{number}"] = {"text": text}
     if wanted in (None, 4):
         rows = measure_table4(repeats=args.repeats)
-        print(render_table4(rows))
+        texts.append(render_table4(rows))
+        sections["table4"] = {
+            "repeats": args.repeats,
+            "rows": [
+                {
+                    "name": row.name,
+                    "title": row.title,
+                    "compile_ms_orig": round(row.compile_ms_orig, 3),
+                    "compile_ms_eilid": round(row.compile_ms_eilid, 3),
+                    "size_bytes_orig": row.size_bytes_orig,
+                    "size_bytes_eilid": row.size_bytes_eilid,
+                    "run_us_orig": round(row.run_us_orig, 2),
+                    "run_us_eilid": round(row.run_us_eilid, 2),
+                    "size_overhead_pct": round(row.size_overhead_pct, 2),
+                    "run_overhead_pct": round(row.run_overhead_pct, 2),
+                }
+                for row in rows
+            ],
+        }
+    if args.json:
+        _print_json(envelope("cli.tables", tables=sections))
+    else:
+        print("\n\n".join(texts))
     return EXIT_OK
 
 
-def _cmd_figure10(_args):
+def _cmd_figure10(args):
+    from repro.api import envelope
     from repro.eval import render_figure10
+    from repro.eval.figure10 import generate_figure10
 
-    print(render_figure10())
+    data = generate_figure10()
+    if args.json:
+        _print_json(envelope(
+            "cli.figure10",
+            series=[
+                {"name": name, "kind": kind, "platform": platform,
+                 "luts": luts, "registers": registers}
+                for name, kind, platform, luts, registers in zip(
+                    data.names, data.kinds, data.platforms,
+                    data.luts, data.registers)
+            ],
+            eilid_lut_pct=round(data.eilid_lut_pct, 2),
+            eilid_register_pct=round(data.eilid_register_pct, 2),
+        ))
+    else:
+        print(render_figure10(data))
     return EXIT_OK
 
 
-def _cmd_micro(_args):
+def _cmd_micro(args):
+    from repro.api import envelope
     from repro.eval import render_micro
+    from repro.eval.microbench import measure_micro
 
-    print(render_micro())
+    result = measure_micro()
+    if args.json:
+        _print_json(envelope(
+            "cli.micro",
+            store_cycles=result.store_cycles,
+            check_cycles=result.check_cycles,
+            store_instructions=result.store_instructions,
+            check_instructions=result.check_instructions,
+            store_us=result.store_us,
+            check_us=result.check_us,
+        ))
+    else:
+        print(render_micro(result))
     return EXIT_OK
+
+
+# ---- single-device scenarios -----------------------------------------------
 
 
 def _cmd_run_app(args):
-    from repro.apps import get_app, run_app
+    from repro.api import FirmwareSpec, ScenarioSpec
+    from repro.apps import get_app
 
-    spec = get_app(args.name)
-    run = run_app(spec, variant=args.variant)
-    print(f"{spec.title} ({args.variant}): done={run.done} "
-          f"cycles={run.cycles} ({run.run_time_us:.1f} us @100MHz) "
-          f"violations={len(run.violations)}")
-    for port, value in run.output_events()[:20]:
-        print(f"  {port} = 0x{value:04x}")
-    if not run.done or run.violations:
-        return EXIT_SECURITY
-    return EXIT_OK
+    security = "eilid" if args.variant == "eilid" else "none"
+    session = _session(ScenarioSpec(
+        name=args.name,
+        firmware=FirmwareSpec(kind="app", app=args.name, variant=args.variant),
+        security=security,
+    ))
+    outcome = session.run()
+    if args.json:
+        _print_json(outcome.to_dict())
+    else:
+        spec = get_app(args.name)
+        print(f"{spec.title} ({args.variant}): done={outcome.done} "
+              f"cycles={outcome.cycles} ({outcome.run_time_us:.1f} us @100MHz) "
+              f"violations={len(outcome.violations)}")
+        for port, value in session.device.output_events()[:20]:
+            print(f"  {port} = 0x{value:04x}")
+    return EXIT_OK if outcome.ok else EXIT_SECURITY
 
 
 def _cmd_attack(args):
-    import repro.attacks as attacks
-    from repro.attacks import AttackOutcome
+    from repro.api import ScenarioSpec
 
-    attack = getattr(attacks, args.name, None)
-    if attack is None:
-        names = [n for n in attacks.__all__ if not n.startswith("Attack")]
-        print(f"unknown attack {args.name!r}; choose from: {', '.join(names)}")
-        return EXIT_USAGE
-    result = attack(args.security)
-    print(result)
-    if result.outcome is AttackOutcome.HIJACKED:
+    session = _session(ScenarioSpec(
+        name=args.name, attack=args.name, security=args.security))
+    outcome = session.run()
+    if args.json:
+        _print_json(outcome.to_dict())
+    else:
+        print(session.attack_result)
+    if outcome.attack.outcome == "hijacked":
         return EXIT_SECURITY  # the attack went through undetected
     return EXIT_OK
 
 
-def _cmd_verify(_args):
+def _cmd_verify(args):
+    from repro.api import envelope
     from repro.verification.properties import check_all
 
-    failures = 0
-    for result in check_all():
-        print(result)
-        failures += 0 if result.holds else 1
+    results = check_all()
+    failures = sum(0 if result.holds else 1 for result in results)
+    if args.json:
+        _print_json(envelope(
+            "cli.verify",
+            ok=failures == 0,
+            properties=[
+                {"name": result.property_name, "holds": result.holds,
+                 "states_explored": result.states_explored}
+                for result in results
+            ],
+        ))
+    else:
+        for result in results:
+            print(result)
     return EXIT_SECURITY if failures else EXIT_OK
 
 
@@ -119,28 +229,28 @@ def _cmd_verify(_args):
 
 def _cfg_build_app(args):
     """Shared front half of the cfg commands: build + recover + compile."""
-    from repro.apps import get_app
-    from repro.apps.runtime import build_app
+    from repro.api import FirmwareSpec, SpecError, build_firmware
     from repro.cfg import compile_policy, recover_cfg
 
     try:
-        spec = get_app(args.name)
-    except KeyError:
-        from repro.apps.registry import TABLE_IV_ORDER
-
-        raise _UsageError(
-            f"unknown app {args.name!r}; choose from: "
-            + ", ".join(TABLE_IV_ORDER)) from None
-    build = build_app(spec, variant=args.variant)
+        build = build_firmware(FirmwareSpec(
+            kind="app", app=args.name, variant=args.variant).validate())
+    except SpecError as error:
+        raise _UsageError(str(error)) from None
     cfg = recover_cfg(build.program)
     policy = compile_policy(cfg, symbols=build.program.symbols)
-    return spec, build, cfg, policy
+    return build, cfg, policy
 
 
 def _cmd_cfg_build(args):
-    _spec, _build, cfg, policy = _cfg_build_app(args)
+    _build, cfg, policy = _cfg_build_app(args)
     if args.json:
-        print(policy.to_json())
+        # The policy artifact itself IS the payload: schema/version
+        # envelope keys are merged in, and the document stays loadable
+        # by CfiPolicy.from_json (its own "format" key is preserved).
+        from repro.api import envelope
+
+        _print_json(envelope("cfg.policy", **policy.to_dict()))
         return EXIT_OK
     print(f"{cfg.name}: {len(cfg.insns)} instructions, "
           f"{len(cfg.functions)} functions, {cfg.block_count} blocks")
@@ -163,119 +273,156 @@ def _cmd_cfg_build(args):
 
 
 def _cmd_cfg_diff(args):
-    spec, build, _cfg, policy = _cfg_build_app(args)
+    build, _cfg, policy = _cfg_build_app(args)
+    from repro.api import envelope
     from repro.cfg import diff_against_listing
 
     divergences = diff_against_listing(policy, build.listing)
+    if args.json:
+        _print_json(envelope(
+            "cli.cfg-diff",
+            app=args.name,
+            variant=args.variant,
+            ok=not divergences,
+            policy_digest=policy.digest,
+            divergences=list(divergences),
+        ))
+        return EXIT_OK if not divergences else EXIT_SECURITY
     if not divergences:
-        print(f"{spec.name} ({args.variant}): binary-derived policy matches "
+        print(f"{args.name} ({args.variant}): binary-derived policy matches "
               f"the listing-derived view "
               f"({len(policy.return_sites)} return sites, "
               f"{len(policy.indirect_targets)} indirect targets)")
         return EXIT_OK
-    print(f"{spec.name} ({args.variant}): {len(divergences)} divergence(s):")
+    print(f"{args.name} ({args.variant}): {len(divergences)} divergence(s):")
     for line in divergences:
         print(f"  {line}")
     return EXIT_SECURITY
 
 
 def _cmd_cfg_verify_trace(args):
-    from repro.cfg import policy_for_program, replay_trace
+    from repro.api import FirmwareSpec, ScenarioSpec
 
     if args.attack:
-        import repro.attacks as attacks
-
-        attack = getattr(attacks, args.attack, None)
-        if attack is None:
-            raise _UsageError(f"unknown attack {args.attack!r}")
-        result = attack(args.security)
-        device = result.device
-        print(result)
+        session = _session(ScenarioSpec(
+            name=args.attack, attack=args.attack, security=args.security))
+        outcome = session.run()
+        banner = str(session.attack_result)
     else:
-        from repro.apps import get_app, run_app
+        from repro.apps import get_app
 
-        try:
-            spec = get_app(args.name)
-        except KeyError:
-            raise _UsageError(f"unknown app {args.name!r}") from None
-        run = run_app(spec, variant=args.variant)
-        device = run.device
-        print(f"{spec.title} ({args.variant}): done={run.done} "
-              f"cycles={run.cycles}")
-    policy = policy_for_program(device.program)
-    snapshot = device.trace_snapshot()
-    verdict = replay_trace(policy, snapshot)
-    print(f"trace: {snapshot.total} edges ({snapshot.dropped} dropped), "
-          f"digest {snapshot.digest_hex}")
-    print(verdict)
+        variant = args.variant
+        session = _session(ScenarioSpec(
+            name=args.name,
+            firmware=FirmwareSpec(kind="app", app=args.name, variant=variant),
+            security="eilid" if variant == "eilid" else "none",
+        ))
+        outcome = session.run()
+        banner = (f"{get_app(args.name).title} ({variant}): "
+                  f"done={outcome.done} cycles={outcome.cycles}")
+    verdict = session.verify()
+    if args.json:
+        _print_json(verdict.to_dict())
+    else:
+        print(banner)
+        snapshot = session.device.trace_snapshot()
+        print(f"trace: {snapshot.total} edges ({snapshot.dropped} dropped), "
+              f"digest {snapshot.digest_hex}")
+        if verdict.ok:
+            print(f"replay ok ({verdict.edges_checked} edges)")
+        else:
+            print(f"replay REJECTED: {verdict.reason}")
     return EXIT_OK if verdict.ok else EXIT_SECURITY
 
 
 # ---- fleet -----------------------------------------------------------------
 
 
-class _UsageError(Exception):
-    """Bad flag values; rendered as a clean message + exit 1."""
+def _fleet_session(args, rollout=None, run_cycles=2_000):
+    from repro.api import FleetSpec, ScenarioSpec
 
-
-def _make_fleet(args):
-    from repro.fleet import FleetSimulation
-
-    try:
-        return FleetSimulation(
+    return _session(ScenarioSpec(
+        name="fleet",
+        security=args.security,
+        fleet=FleetSpec(
             size=args.devices,
-            security=args.security,
             loss=args.loss,
             reorder=args.reorder,
             seed=args.seed,
-        )
-    except ValueError as error:
-        raise _UsageError(str(error)) from None
+            run_cycles=run_cycles,
+            rollout=rollout,
+        ),
+    ))
 
 
 def _cmd_fleet_enroll(args):
-    fleet = _make_fleet(args)
+    from repro.api import envelope
+
+    session = _fleet_session(args)
+    fleet = session.fleet
     failed = [record.device_id for record in fleet.registry
               if record.firmware_hash is None]
-    print(f"enrolled {len(fleet.registry) - len(failed)}/{len(fleet.registry)} "
-          f"devices (security={args.security}, loss={args.loss})")
-    for state, count in sorted(fleet.registry.state_histogram().items()):
-        print(f"  {state}: {count}")
+    states = {state: count
+              for state, count in sorted(fleet.registry.state_histogram().items())}
+    if args.json:
+        _print_json(envelope(
+            "cli.fleet-enroll",
+            ok=not failed,
+            devices=len(fleet.registry),
+            enrolled=len(fleet.registry) - len(failed),
+            security=args.security,
+            loss=args.loss,
+            states=states,
+        ))
+    else:
+        print(f"enrolled {len(fleet.registry) - len(failed)}/{len(fleet.registry)} "
+              f"devices (security={args.security}, loss={args.loss})")
+        for state, count in states.items():
+            print(f"  {state}: {count}")
     return EXIT_SECURITY if failed else EXIT_OK
 
 
 def _cmd_fleet_status(args):
-    fleet = _make_fleet(args)
-    fleet.run_all(max_cycles=2_000)
-    results = fleet.attest_all()
-    print(fleet.status())
-    healthy = sum(1 for result in results.values() if result.ok)
-    return EXIT_OK if healthy == len(results) else EXIT_SECURITY
+    session = _fleet_session(args)
+    session.run()
+    attest = session.attest()
+    if args.json:
+        _print_json(attest.to_dict())
+    else:
+        print(session.fleet.status())
+    return EXIT_OK if attest.ok else EXIT_SECURITY
 
 
 def _cmd_fleet_rollout(args):
-    from repro.fleet import CampaignConfig
+    from repro.api import RolloutSpec, SpecError
 
     try:
-        config = CampaignConfig(
-            wave_fractions=tuple(float(f) for f in args.waves.split(",")),
-            failure_threshold=args.failure_threshold,
-            workers=args.workers,
-            batch_size=args.batch_size,
-        )
+        waves = tuple(float(f) for f in args.waves.split(","))
     except ValueError as error:
         raise _UsageError(f"bad rollout options: {error}") from None
-    fleet = _make_fleet(args)
-    report = fleet.rollout(
+    rollout = RolloutSpec(
         version=args.version,
-        config=config,
+        wave_fractions=waves,
+        failure_threshold=args.failure_threshold,
         tamper_fraction=args.tamper_fraction,
         rollback_fraction=args.rollback_fraction,
+        workers=args.workers,
+        batch_size=args.batch_size,
     )
-    print(report.render())
-    print()
-    print(fleet.status())
-    return EXIT_HALTED if report.halted else EXIT_OK
+    # The rollout command has no pre-run phase (it measures campaign
+    # throughput, not device execution), matching the historical CLI.
+    session = _fleet_session(args, rollout=rollout, run_cycles=0)
+    outcome = session.run()
+    if args.json:
+        _print_json(outcome.to_dict())
+    else:
+        print(session.campaign_report.render())
+        print()
+        print(session.fleet.status())
+    return EXIT_HALTED if session.campaign_report.halted else EXIT_OK
+
+
+# ---- parser ----------------------------------------------------------------
 
 
 class _Parser(argparse.ArgumentParser):
@@ -294,28 +441,39 @@ def main(argv=None):
                         version=f"%(prog)s {repro.__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_json(p):
+        p.add_argument("--json", action="store_true",
+                       help="emit one JSON document (schema + version keys) "
+                            "instead of text")
+
     p_tables = sub.add_parser("tables", help="regenerate paper tables")
     p_tables.add_argument("--table", type=int, choices=(1, 2, 3, 4))
     p_tables.add_argument("--repeats", type=int, default=3)
+    add_json(p_tables)
     p_tables.set_defaults(func=_cmd_tables)
 
     p_fig = sub.add_parser("figure10", help="hardware overhead comparison")
+    add_json(p_fig)
     p_fig.set_defaults(func=_cmd_figure10)
 
     p_micro = sub.add_parser("micro", help="per-op instrumentation cost")
+    add_json(p_micro)
     p_micro.set_defaults(func=_cmd_micro)
 
     p_run = sub.add_parser("run-app", help="run one Table IV application")
     p_run.add_argument("name")
     p_run.add_argument("--variant", choices=("original", "eilid"), default="eilid")
+    add_json(p_run)
     p_run.set_defaults(func=_cmd_run_app)
 
     p_attack = sub.add_parser("attack", help="run one attack scenario")
     p_attack.add_argument("name")
     p_attack.add_argument("--security", choices=("none", "casu", "eilid"), default="eilid")
+    add_json(p_attack)
     p_attack.set_defaults(func=_cmd_attack)
 
     p_verify = sub.add_parser("verify", help="model-check the monitor properties")
+    add_json(p_verify)
     p_verify.set_defaults(func=_cmd_verify)
 
     p_cfg = sub.add_parser("cfg", help="binary CFG recovery + trace attestation")
@@ -326,12 +484,11 @@ def main(argv=None):
                        help="Table IV application name")
         p.add_argument("--variant", choices=("original", "eilid"),
                        default="eilid")
+        add_json(p)
 
     p_cfg_build = cfg_sub.add_parser(
         "build", help="recover the CFG and compile its CFI policy")
     cfg_common(p_cfg_build)
-    p_cfg_build.add_argument("--json", action="store_true",
-                             help="emit the policy artifact as JSON")
     p_cfg_build.set_defaults(func=_cmd_cfg_build)
 
     p_cfg_diff = cfg_sub.add_parser(
@@ -362,6 +519,7 @@ def main(argv=None):
         p.add_argument("--reorder", type=float, default=0.0,
                        help="per-message reorder probability")
         p.add_argument("--seed", type=int, default=0)
+        add_json(p)
 
     p_enroll = fleet_sub.add_parser("enroll", help="provision + enroll devices")
     fleet_common(p_enroll)

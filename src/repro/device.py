@@ -185,6 +185,19 @@ class Device:
     def violations(self):
         return [e.violation for e in self.events if e.kind == "violation"]
 
+    def output_events(self):
+        """Observable I/O trace across all peripherals, in time order.
+
+        The harness DONE write is excluded (it is the run terminator,
+        not application output).  Used for original-vs-EILID
+        behavioural equivalence.
+        """
+        events = []
+        for peripheral in self.peripherals.values():
+            events.extend(peripheral.events)
+        events.sort(key=lambda e: (e.cycle, e.port))
+        return [(e.port, e.value) for e in events if e.port != "harness.done"]
+
     def _log_event(self, event: DeviceEvent):
         """Append to the bounded event ring, counting evictions."""
         if len(self.events) == self.max_events:
@@ -404,6 +417,11 @@ class Device:
         return result
 
 
+# The complete knob set *limits* may carry; anything else is a typo
+# (historically e.g. ``trace_capcity=`` was swallowed silently).
+DEVICE_KNOBS = ("max_events", "trace_capacity", "decode_cache")
+
+
 def build_device(program, security="none", peripherals=None, update_key=None,
                  **limits) -> Device:
     """Factory mirroring the three rows of the DESIGN.md attack matrix.
@@ -411,6 +429,18 @@ def build_device(program, security="none", peripherals=None, update_key=None,
     *limits* forwards the evidence bounds (``max_events``,
     ``trace_capacity``) and the ``decode_cache`` interpreter knob to the
     device.
+
+    .. deprecated::
+        Kept as a thin shim for existing code and tests.  New
+        workloads should describe the device declaratively and go
+        through :mod:`repro.api` (``ScenarioSpec`` -> ``Session``),
+        which routes here.
     """
+    unknown = sorted(set(limits) - set(DEVICE_KNOBS))
+    if unknown:
+        raise TypeError(
+            f"build_device() got unknown option(s) "
+            f"{', '.join(map(repr, unknown))}; "
+            f"accepted: {', '.join(DEVICE_KNOBS)}")
     return Device(program, security=security, peripherals=peripherals,
                   update_key=update_key, **limits)

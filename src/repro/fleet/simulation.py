@@ -21,12 +21,12 @@ Adversarial knobs used by tests and the demo:
   quarantines the device.
 """
 
-import functools
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.firmware import build_firmware
+from repro.api.spec import FirmwareSpec
 from repro.casu.update import UpdateKey, UpdatePackage
 from repro.device import Device, build_device
-from repro.eilid.iterbuild import IterativeBuild
 from repro.fleet.campaign import CampaignConfig, CampaignReport, RolloutCampaign
 from repro.fleet.protocol import AttestResult, DeviceAgent, VerifierSession
 from repro.fleet.registry import DeviceRecord, FleetError, FleetRegistry
@@ -47,18 +47,15 @@ idle:
 UPDATE_TARGET = 0xE800  # free PMEM past the tiny resident app
 
 
-@functools.lru_cache(maxsize=None)
-def _fleet_build():
-    """Build the shared firmware image once per process."""
-    from repro.toolchain.build import SourceModule
+def fleet_firmware_spec() -> FirmwareSpec:
+    """The default fleet node firmware as a declarative spec.
 
-    builder = IterativeBuild()
-    modules = [
-        SourceModule("crt0.s", builder.trusted.crt0_source(eilid_enabled=False)),
-        SourceModule("app.s", FLEET_APP, is_app=True),
-        SourceModule("eilid_rom.s", builder.trusted.rom_source()),
-    ]
-    return builder.pipeline.build(modules, name="fleet-node")
+    Routing through :func:`repro.api.firmware.build_firmware` means the
+    shared image is built once per process and the cache is shared with
+    every other scenario that names the same firmware.
+    """
+    return FirmwareSpec(kind="asm", source=FLEET_APP, variant="original",
+                        name="fleet-node", link_rom=True)
 
 
 def default_payload(version: int, words=8) -> bytes:
@@ -74,12 +71,16 @@ class FleetSimulation:
 
     def __init__(self, size=0, security="casu", platform="TI MSP430",
                  loss=0.0, reorder=0.0, seed=0, max_attempts=4,
-                 verify_traces=False):
+                 verify_traces=False, firmware: Optional[FirmwareSpec] = None):
         if size < 0:
             raise ValueError("fleet size must be >= 0")
         self.security = security
         self.platform = platform
         self.max_attempts = max_attempts
+        # The shared image every enrolled device boots: a declarative
+        # FirmwareSpec resolved through the repro.api build path (cached
+        # process-wide), defaulting to the resident FLEET_APP node.
+        self.firmware = firmware or fleet_firmware_spec()
         # Trace attestation: when enabled, every attest() additionally
         # authenticates + replays the device's branch trace against the
         # CFI policy recovered from the shared firmware image.
@@ -100,8 +101,8 @@ class FleetSimulation:
         """Provision one device and run the enrollment handshake."""
         record = self.registry.enroll(device_id, platform=self.platform,
                                       security=self.security)
-        device = build_device(_fleet_build().program, security=self.security,
-                              update_key=record.key)
+        device = build_device(build_firmware(self.firmware).program,
+                              security=self.security, update_key=record.key)
         link = self.transport.link(device_id)
         self.devices[device_id] = device
         self.agents[device_id] = DeviceAgent(device_id, device, link)
@@ -120,8 +121,8 @@ class FleetSimulation:
         if self._policy is None:
             from repro.cfg import policy_for_program
 
-            program = _fleet_build().program
-            self._policy = policy_for_program(program, name="fleet-node")
+            program = build_firmware(self.firmware).program
+            self._policy = policy_for_program(program, name=self.firmware.name)
         return self._policy
 
     def session(self, device_id: str) -> VerifierSession:
