@@ -14,8 +14,15 @@ population across every phase.
 4. let a man-in-the-middle tamper with a fleet-wide share of packages
    and watch the device-side MAC check reject every one;
 5. push hard enough that the campaign's failure threshold halts it;
-6. corrupt one device's firmware and watch attestation quarantine it.
+6. corrupt one device's firmware and watch attestation quarantine it;
+7. shard a campaign across worker processes (GIL-free);
+8. kill the verifier (well, drop the Session) and restart it on the
+   durable store: devices restore instead of re-enrolling, nonce
+   high-water marks persist, and ``resume`` re-offers nothing.
 """
+
+import os
+import tempfile
 
 from repro.api import FleetSpec, RolloutSpec, ScenarioSpec, Session
 
@@ -23,13 +30,17 @@ FLEET = 200
 
 
 def main():
-    print(f"1. enrolling {FLEET} devices (5% loss, 10% reordering):")
-    session = Session(ScenarioSpec(
+    store = os.path.join(tempfile.mkdtemp(prefix="eilid-fleet-"),
+                         "registry.jsonl")
+    spec = ScenarioSpec(
         name="fleet-demo",
         security="casu",
         fleet=FleetSpec(size=FLEET, loss=0.05, reorder=0.10, seed=42,
-                        max_attempts=8),
-    ))
+                        max_attempts=8, store=store),
+    )
+    print(f"1. enrolling {FLEET} devices (5% loss, 10% reordering; "
+          f"durable registry at {store}):")
+    session = Session(spec)
     outcome = session.run()
     print(f"   -> {outcome.fleet.enrolled}/{FLEET} enrolled, "
           f"golden hashes pinned")
@@ -76,10 +87,36 @@ def main():
           f"violations={list(result.report.violation_reasons)}")
     assert not result.ok
 
+    print("8. rollout to v4 sharded across worker processes:")
+    rollout = session.rollout(RolloutSpec(version=4, backend="process",
+                                          workers=4))
+    print("   " + session.campaign_report.render().replace("\n", "\n   "))
+    assert not rollout.halted and rollout.backend == "process"
+
+    print("9. the verifier dies; a new one restarts on the durable store:")
+    fleet.registry.store.close()
+    reborn = Session(spec)
+    restored = reborn.fleet.registry
+    print(f"   -> {len(restored)} devices restored (no re-enrollment), "
+          f"lifecycle and nonce high-water marks intact")
+    assert {record.device_id for record in restored} \
+        == {record.device_id for record in fleet.registry}
+    assert all(record.nonce_high_water > 0 for record in restored)
+    resumed = reborn.rollout(RolloutSpec(version=4, resume=True))
+    print(f"   -> resume of the v4 campaign: {resumed.status}, "
+          f"{resumed.resumed} devices already applied, "
+          f"{resumed.applied} re-offered")
+    assert resumed.applied == 0 and resumed.resumed > 0
+    results = reborn.fleet.attest_all(restored.manageable_ids())
+    print(f"   -> post-restart heartbeats: "
+          f"{sum(1 for r in results.values() if r.ok)}/{len(results)} ok")
+    assert all(result.ok for result in results.values())
+
     print("\nfleet telemetry:")
     print(fleet.status())
     print("\nfleet demo OK: authenticated updates, staged waves, "
-          "threshold halts, quarantine on bad evidence.")
+          "threshold halts, quarantine on bad evidence, durable "
+          "process-sharded campaigns.")
 
 
 if __name__ == "__main__":

@@ -98,6 +98,8 @@ class RolloutDetails:
     halt_reason: str
     waves: Tuple[dict, ...]
     devices_per_sec: float
+    backend: str = "thread"
+    resumed: int = 0  # devices skipped by resume (already at target)
 
     def to_dict(self) -> dict:
         return {
@@ -110,6 +112,8 @@ class RolloutDetails:
             "halt_reason": self.halt_reason,
             "waves": list(self.waves),
             "devices_per_sec": round(self.devices_per_sec, 1),
+            "backend": self.backend,
+            "resumed": self.resumed,
         }
 
 

@@ -187,12 +187,15 @@ class Session:
                 max_attempts=spec.fleet.max_attempts,
                 verify_traces=spec.fleet.verify_traces,
                 firmware=firmware,
+                store=spec.fleet.store,
             )
-            # Enrollment happens in the constructor; count before any
-            # campaign clears golden hashes pending re-attestation.
+            # Enrollment happens in the constructor (or records are
+            # restored from the durable store); enrolled_ok is the
+            # handshake signal that survives an applied rollout
+            # clearing the golden hash pending re-attestation.
             self._fleet_enrolled = sum(
                 1 for record in self._fleet.registry
-                if record.firmware_hash is not None)
+                if record.enrolled_ok)
         return self._fleet
 
     # ---- build -------------------------------------------------------------
@@ -294,12 +297,14 @@ class Session:
             workers=plan.workers,
             batch_size=plan.batch_size,
             verify_after_wave=plan.verify_after_wave,
+            backend=plan.backend,
         )
         report = self.fleet.rollout(
             version=plan.version,
             config=config,
             tamper_fraction=plan.tamper_fraction,
             rollback_fraction=plan.rollback_fraction,
+            resume=plan.resume,
         )
         self.campaign_report = report
         details = RolloutDetails(
@@ -316,6 +321,8 @@ class Session:
                  "failure_fraction": round(wave.failure_fraction, 4)}
                 for wave in report.waves),
             devices_per_sec=report.devices_per_sec,
+            backend=report.backend,
+            resumed=report.resumed,
         )
         # A campaign changes the evidence (firmware hashes, lifecycle
         # states, device cycles): every cached aggregate would go
@@ -368,18 +375,28 @@ class Session:
         self.run()
         if self.workload == "fleet":
             fleet = self.fleet
-            for device_id in fleet.registry.ids():
-                result = fleet.session(device_id).attest()
-                report = result.report
-                yield DeviceAttestation(
-                    device_id=device_id,
-                    ok=result.ok,
-                    detail=result.detail,
-                    attempts=result.attempts,
-                    firmware_hash=None if report is None else report.firmware_hash,
-                    firmware_version=None if report is None
-                    else report.firmware_version,
-                )
+            registry = fleet.registry
+            try:
+                for device_id in registry.ids():
+                    result = fleet.session(device_id).attest()
+                    # Each attest consumed a challenge nonce (and may
+                    # have quarantined); persist so a restart cannot
+                    # reissue it -- that is the replay defence.
+                    registry.save(registry.get(device_id))
+                    report = result.report
+                    yield DeviceAttestation(
+                        device_id=device_id,
+                        ok=result.ok,
+                        detail=result.detail,
+                        attempts=result.attempts,
+                        firmware_hash=None if report is None
+                        else report.firmware_hash,
+                        firmware_version=None if report is None
+                        else report.firmware_version,
+                    )
+            finally:
+                # Commit even when the consumer abandons the stream.
+                registry.flush()
         else:
             report = self.device.attestation_report()
             yield DeviceAttestation(

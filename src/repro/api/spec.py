@@ -194,7 +194,14 @@ class LimitsSpec:
 
 @dataclass(frozen=True)
 class RolloutSpec:
-    """One staged firmware campaign, including adversarial knobs."""
+    """One staged firmware campaign, including adversarial knobs.
+
+    ``backend`` picks the campaign executor: ``"thread"`` shares the
+    live simulated devices, ``"process"`` shards waves across worker
+    processes rebuilt from the firmware spec + fleet seed.  ``resume``
+    skips devices whose (durable) registry record already shows the
+    target version -- the continuation path after a killed campaign.
+    """
 
     version: int = 1
     wave_fractions: Tuple[float, ...] = (0.05, 0.25, 1.0)
@@ -204,9 +211,16 @@ class RolloutSpec:
     workers: int = 0
     batch_size: int = 32
     verify_after_wave: bool = False
+    backend: str = "thread"
+    resume: bool = False
 
     def validate(self, prefix="fleet.rollout"):
+        from repro.fleet.campaign import CAMPAIGN_BACKENDS
+
         _require(self.version >= 1, f"{prefix}.version", "must be >= 1")
+        _require(self.backend in CAMPAIGN_BACKENDS, f"{prefix}.backend",
+                 f"unknown backend {self.backend!r}; "
+                 f"one of {', '.join(CAMPAIGN_BACKENDS)}")
         fractions = tuple(self.wave_fractions)
         _require(fractions and sorted(fractions) == list(fractions),
                  f"{prefix}.wave_fractions", "must be increasing")
@@ -235,13 +249,16 @@ class RolloutSpec:
             "workers": self.workers,
             "batch_size": self.batch_size,
             "verify_after_wave": self.verify_after_wave,
+            "backend": self.backend,
+            "resume": self.resume,
         }
 
     @staticmethod
     def from_dict(data: dict, prefix="fleet.rollout") -> "RolloutSpec":
         _check_keys(data, ("version", "wave_fractions", "failure_threshold",
                            "tamper_fraction", "rollback_fraction", "workers",
-                           "batch_size", "verify_after_wave"), prefix)
+                           "batch_size", "verify_after_wave", "backend",
+                           "resume"), prefix)
         return RolloutSpec(
             version=data.get("version", 1),
             wave_fractions=tuple(data.get("wave_fractions", (0.05, 0.25, 1.0))),
@@ -251,12 +268,20 @@ class RolloutSpec:
             workers=data.get("workers", 0),
             batch_size=data.get("batch_size", 32),
             verify_after_wave=data.get("verify_after_wave", False),
+            backend=data.get("backend", "thread"),
+            resume=data.get("resume", False),
         )
 
 
 @dataclass(frozen=True)
 class FleetSpec:
-    """Shape of a managed-fleet scenario (devices share one image)."""
+    """Shape of a managed-fleet scenario (devices share one image).
+
+    ``store`` makes the verifier's registry durable: a filesystem path
+    (``.db``/``.sqlite`` -> SQLite, anything else -> JSON lines) that
+    device records -- lifecycle, versions, nonce high-water marks --
+    are persisted to and restored from across process restarts.
+    """
 
     size: int = 100
     loss: float = 0.0
@@ -265,6 +290,7 @@ class FleetSpec:
     max_attempts: int = 4
     verify_traces: bool = False
     run_cycles: int = 2_000
+    store: Optional[str] = None
     rollout: Optional[RolloutSpec] = None
 
     def validate(self, prefix="fleet"):
@@ -275,6 +301,9 @@ class FleetSpec:
         _require(self.max_attempts >= 1, f"{prefix}.max_attempts",
                  "must be >= 1")
         _require(self.run_cycles >= 0, f"{prefix}.run_cycles", "must be >= 0")
+        if self.store is not None:
+            _require(isinstance(self.store, str) and self.store,
+                     f"{prefix}.store", "must be a non-empty path string")
         if self.rollout is not None:
             self.rollout.validate(f"{prefix}.rollout")
         return self
@@ -288,13 +317,15 @@ class FleetSpec:
             "max_attempts": self.max_attempts,
             "verify_traces": self.verify_traces,
             "run_cycles": self.run_cycles,
+            "store": self.store,
             "rollout": None if self.rollout is None else self.rollout.to_dict(),
         }
 
     @staticmethod
     def from_dict(data: dict, prefix="fleet") -> "FleetSpec":
         _check_keys(data, ("size", "loss", "reorder", "seed", "max_attempts",
-                           "verify_traces", "run_cycles", "rollout"), prefix)
+                           "verify_traces", "run_cycles", "store", "rollout"),
+                    prefix)
         rollout = data.get("rollout")
         return FleetSpec(
             size=data.get("size", 100),
@@ -304,6 +335,7 @@ class FleetSpec:
             max_attempts=data.get("max_attempts", 4),
             verify_traces=data.get("verify_traces", False),
             run_cycles=data.get("run_cycles", 2_000),
+            store=data.get("store"),
             rollout=None if rollout is None
             else RolloutSpec.from_dict(rollout, f"{prefix}.rollout"),
         )

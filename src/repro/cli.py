@@ -16,7 +16,12 @@ Commands:
 * ``attack NAME [--security none|casu|eilid]`` -- run one attack.
 * ``verify`` -- model-check the monitor properties.
 * ``fleet enroll|status|rollout`` -- simulate a verifier managing a
-  population of devices (see :mod:`repro.fleet`).
+  population of devices (see :mod:`repro.fleet`).  ``--store PATH``
+  makes the verifier's registry durable across invocations (SQLite or
+  JSON lines by extension); ``rollout --backend process`` shards the
+  campaign across worker processes, and ``rollout --resume`` continues
+  a killed campaign from the store without re-offering applied
+  devices.
 * ``cfg build|diff|verify-trace`` -- binary CFG recovery, CFI-policy
   compilation/cross-check, and branch-trace replay
   (see :mod:`repro.cfg`).
@@ -350,6 +355,7 @@ def _fleet_session(args, rollout=None, run_cycles=2_000):
             reorder=args.reorder,
             seed=args.seed,
             run_cycles=run_cycles,
+            store=args.store,
             rollout=rollout,
         ),
     ))
@@ -361,7 +367,7 @@ def _cmd_fleet_enroll(args):
     session = _fleet_session(args)
     fleet = session.fleet
     failed = [record.device_id for record in fleet.registry
-              if record.firmware_hash is None]
+              if not record.enrolled_ok]
     states = {state: count
               for state, count in sorted(fleet.registry.state_histogram().items())}
     if args.json:
@@ -408,7 +414,12 @@ def _cmd_fleet_rollout(args):
         rollback_fraction=args.rollback_fraction,
         workers=args.workers,
         batch_size=args.batch_size,
+        backend=args.backend,
+        resume=args.resume,
     )
+    if args.resume and not args.store:
+        raise _UsageError("--resume needs --store (the durable registry "
+                          "the campaign resumes from)")
     # The rollout command has no pre-run phase (it measures campaign
     # throughput, not device execution), matching the historical CLI.
     session = _fleet_session(args, rollout=rollout, run_cycles=0)
@@ -519,6 +530,10 @@ def main(argv=None):
         p.add_argument("--reorder", type=float, default=0.0,
                        help="per-message reorder probability")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--store", default=None, metavar="PATH",
+                       help="durable registry store; .db/.sqlite -> SQLite, "
+                            "anything else -> JSON lines (records persist "
+                            "across invocations)")
         add_json(p)
 
     p_enroll = fleet_sub.add_parser("enroll", help="provision + enroll devices")
@@ -545,6 +560,14 @@ def main(argv=None):
     p_rollout.add_argument("--workers", type=int, default=0,
                            help="worker pool size (0 = auto)")
     p_rollout.add_argument("--batch-size", type=int, default=32)
+    p_rollout.add_argument("--backend", choices=("thread", "process"),
+                           default="thread",
+                           help="campaign executor: thread shares the live "
+                                "devices, process shards waves across "
+                                "worker processes (GIL-free)")
+    p_rollout.add_argument("--resume", action="store_true",
+                           help="skip devices whose stored record already "
+                                "shows the target version (needs --store)")
     p_rollout.set_defaults(func=_cmd_fleet_rollout)
 
     try:

@@ -9,9 +9,12 @@ waves, and reacts to rejections across a population of thousands of
 simulated devices.
 
 * :mod:`repro.fleet.registry`   -- device records and lifecycle states.
+* :mod:`repro.fleet.store`      -- durable registry state (memory /
+  JSON-lines / SQLite backends, one codec).
 * :mod:`repro.fleet.transport`  -- simulated lossy/reordering links.
 * :mod:`repro.fleet.protocol`   -- authenticated verifier<->device messages.
-* :mod:`repro.fleet.campaign`   -- staged-rollout engine (waves, halt).
+* :mod:`repro.fleet.campaign`   -- staged-rollout engine (waves, halt,
+  thread/process backends, resume).
 * :mod:`repro.fleet.telemetry`  -- fleet-level counters and histograms.
 * :mod:`repro.fleet.simulation` -- N devices + agents + links in one object.
 """
@@ -24,9 +27,18 @@ from repro.fleet.campaign import (
     RolloutCampaign,
     WaveResult,
 )
-from repro.fleet.protocol import DeviceAgent, MsgKind, VerifierSession
+from repro.fleet.protocol import DeviceAgent, MsgKind, OfferResult, VerifierSession
 from repro.fleet.registry import DeviceRecord, FleetRegistry, Lifecycle
 from repro.fleet.simulation import FleetSimulation
+from repro.fleet.store import (
+    JsonlStore,
+    MemoryStore,
+    RegistryStore,
+    SqliteStore,
+    open_store,
+    record_from_dict,
+    record_to_dict,
+)
 from repro.fleet.telemetry import FleetTelemetry
 from repro.fleet.transport import ChannelStats, Envelope, Link, SimChannel, Transport
 
@@ -42,12 +54,20 @@ __all__ = [
     "FleetRegistry",
     "FleetSimulation",
     "FleetTelemetry",
+    "JsonlStore",
     "Lifecycle",
     "Link",
+    "MemoryStore",
     "MsgKind",
+    "OfferResult",
+    "RegistryStore",
     "RolloutCampaign",
     "SimChannel",
+    "SqliteStore",
     "Transport",
     "VerifierSession",
     "WaveResult",
+    "open_store",
+    "record_from_dict",
+    "record_to_dict",
 ]

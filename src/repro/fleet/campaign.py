@@ -8,6 +8,24 @@ conversations (offer -> device-side MAC/version check -> ack) end to
 end, including the simulated ROM copy on the device CPU, so "devices
 per second" here is the real cost of the whole authenticated path.
 
+Two execution backends (``CampaignConfig.backend``):
+
+* ``"thread"``  -- the original in-process pool; workers share the
+  live Device objects.  GIL-bound: the simulated CPU work serialises.
+* ``"process"`` -- batches ship to a ``ProcessPoolExecutor``.  Each
+  worker process rebuilds its shard's devices from the fleet's
+  ``FirmwareSpec`` + seed and the registry-record snapshots it is
+  handed (the store codec doubles as the wire format), runs the full
+  authenticated conversation locally, and returns mutated record
+  documents; the parent merges them back into the registry/store.
+  This sidesteps the GIL and is the scale path for multi-10k fleets.
+
+Campaigns are resumable: every wave's outcomes are persisted through
+the registry's store (when one is attached) and flushed as a
+durability point; ``run(resume=True)`` skips devices whose records
+already show the target version, so a killed campaign picks up where
+the last flushed wave ended without re-offering applied devices.
+
 After every wave the engine compares the wave's failure fraction
 (MAC rejections, version rollbacks, unreachable devices) against the
 configured threshold.  Exceeding it HALTS the campaign: no further
@@ -22,13 +40,15 @@ import enum
 import os
 import time
 from collections import Counter
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.casu.update import UpdatePackage, UpdateStatus
 from repro.eval.report import render_table
 from repro.fleet.registry import DeviceRecord, FleetRegistry, Lifecycle
+
+CAMPAIGN_BACKENDS = ("thread", "process")
 
 
 @dataclass
@@ -48,6 +68,10 @@ class CampaignConfig:
     # forged or non-replaying branch traces quarantine a device; the
     # failures count toward the wave's halt threshold.
     verify_after_wave: bool = False
+    # Execution backend: "thread" shares the live devices under the
+    # GIL, "process" shards the wave across worker processes that
+    # rebuild their devices from record snapshots (see module doc).
+    backend: str = "thread"
 
     def __post_init__(self):
         fractions = tuple(self.wave_fractions)
@@ -62,6 +86,9 @@ class CampaignConfig:
             raise ValueError("workers must be >= 0 (0 = auto)")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.backend not in CAMPAIGN_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {', '.join(CAMPAIGN_BACKENDS)}")
 
     @property
     def effective_workers(self) -> int:
@@ -77,8 +104,11 @@ class CampaignStatus(enum.Enum):
 @dataclass
 class DeviceOutcome:
     device_id: str
-    status: Optional[UpdateStatus]  # None -> unreachable / forged ack
+    status: Optional[UpdateStatus]  # None -> no authentic ack
     attempts: int
+    # Why status is None: "unreachable", "bad-ack-mac" (forged ack,
+    # quarantines) or "replay" (captured ack injected, quarantines).
+    detail: str = ""
 
     @property
     def applied(self):
@@ -86,7 +116,9 @@ class DeviceOutcome:
 
     @property
     def status_label(self):
-        return self.status.value if self.status else "unreachable"
+        if self.status is not None:
+            return self.status.value
+        return self.detail or "unreachable"
 
 
 @dataclass
@@ -112,6 +144,10 @@ class CampaignReport:
     skipped: int  # devices never offered (halt before their wave)
     elapsed_s: float
     halt_reason: str = ""
+    # Devices already at the target version when run(resume=True)
+    # started; they are never re-offered.
+    resumed: int = 0
+    backend: str = "thread"
 
     @property
     def halted(self):
@@ -136,8 +172,10 @@ class CampaignReport:
             title=f"rollout to v{self.target_version}: {self.status.value}"
             + (f" ({self.halt_reason})" if self.halt_reason else ""))
         tail = (f"{self.applied} applied, {self.failed} failed, "
-                f"{self.skipped} skipped; "
-                f"{self.devices_per_sec:.0f} devices/sec")
+                f"{self.skipped} skipped"
+                + (f", {self.resumed} resumed" if self.resumed else "")
+                + f"; {self.devices_per_sec:.0f} devices/sec"
+                + f" [{self.backend}]")
         return table + "\n" + tail
 
 
@@ -149,6 +187,14 @@ class RolloutCampaign:
     ``package_factory(record) -> UpdatePackage`` (per-device, because
     packages are MAC'd under per-device keys -- and because tests and
     demos model a man-in-the-middle by tampering some devices' copies).
+
+    The process backend additionally needs *shard_task*: a picklable
+    ``(function, context)`` pair.  The campaign calls
+    ``function(context, record_docs)`` in a worker process for each
+    batch, where *record_docs* are ``store.record_to_dict`` snapshots
+    taken just before submission; the function returns mutated record
+    documents plus offer outcomes, which the campaign merges back into
+    the live registry (and its store) on the main thread.
     """
 
     def __init__(self, registry: FleetRegistry,
@@ -156,13 +202,26 @@ class RolloutCampaign:
                  package_factory: Callable[[DeviceRecord], UpdatePackage],
                  target_version: int,
                  config: Optional[CampaignConfig] = None,
-                 telemetry=None):
+                 telemetry=None,
+                 shard_task: Optional[Tuple[Callable, dict]] = None,
+                 post_wave_merge: Optional[Callable[[], None]] = None):
         self.registry = registry
         self.session_factory = session_factory
         self.package_factory = package_factory
         self.target_version = target_version
         self.config = config or CampaignConfig()
         self.telemetry = telemetry
+        self.shard_task = shard_task
+        # Runs after a wave's outcomes merge, before post-wave
+        # verification and the durability flush.  The simulation hooks
+        # its replica sync here so verify_after_wave on the process
+        # backend attests the *updated* device image, not a stale
+        # parent replica (which would roll merged records back).
+        self.post_wave_merge = post_wave_merge
+        if self.config.backend == "process" and shard_task is None:
+            raise ValueError(
+                "backend='process' needs a shard_task; drive the campaign "
+                "through FleetSimulation.rollout() or pass one explicitly")
 
     # ---- wave planning ---------------------------------------------------
 
@@ -180,18 +239,33 @@ class RolloutCampaign:
 
     # ---- execution -------------------------------------------------------
 
-    def run(self, device_ids: Optional[Sequence[str]] = None) -> CampaignReport:
+    def run(self, device_ids: Optional[Sequence[str]] = None,
+            resume: bool = False) -> CampaignReport:
         ids = list(device_ids) if device_ids is not None \
             else self.registry.manageable_ids()
+        resumed = 0
+        if resume:
+            # Devices whose durable record already shows the target
+            # version were applied by an earlier (possibly killed) run
+            # of this campaign; never offer them again.
+            fresh = [device_id for device_id in ids
+                     if self.registry.get(device_id).firmware_version
+                     < self.target_version]
+            resumed = len(ids) - len(fresh)
+            ids = fresh
+        backend = self.config.backend
         started = time.perf_counter()
         if not ids:
             return CampaignReport(CampaignStatus.EMPTY, self.target_version,
-                                  [], 0, 0, 0, 0.0)
+                                  [], 0, 0, 0, 0.0, resumed=resumed,
+                                  backend=backend)
         waves = self.plan_waves(ids)
         results: List[WaveResult] = []
         applied = failed = offered = 0
         status, halt_reason = CampaignStatus.COMPLETE, ""
-        with ThreadPoolExecutor(max_workers=self.config.effective_workers) as pool:
+        pool_cls = (ProcessPoolExecutor if backend == "process"
+                    else ThreadPoolExecutor)
+        with pool_cls(max_workers=self.config.effective_workers) as pool:
             for index, wave in enumerate(waves, start=1):
                 wave_result = self._run_wave(index, wave, pool)
                 results.append(wave_result)
@@ -213,28 +287,85 @@ class RolloutCampaign:
             skipped=len(ids) - offered,
             elapsed_s=time.perf_counter() - started,
             halt_reason=halt_reason,
+            resumed=resumed,
+            backend=backend,
         )
 
-    def _run_wave(self, index: int, wave: List[str],
-                  pool: ThreadPoolExecutor) -> WaveResult:
+    def _run_wave(self, index: int, wave: List[str], pool) -> WaveResult:
+        # Mark the wave in flight, remembering each device's prior
+        # state so a failed offer rolls back to what the device
+        # actually was (ENROLLED devices must not surface as ACTIVE
+        # just because the channel ate their offer).
+        prior = {}
         for device_id in wave:
-            self.registry.get(device_id).state = Lifecycle.UPDATING
+            record = self.registry.get(device_id)
+            prior[device_id] = record.state
+            record.state = Lifecycle.UPDATING
         batch_size = self.config.batch_size
+        if self.config.backend == "process":
+            # Shard-task submission costs real serialisation; keep the
+            # batches big enough that each worker sees ~2 per wave
+            # (enough for load balance, few enough to amortise).
+            per_worker = -(-len(wave) // (2 * self.config.effective_workers))
+            batch_size = max(batch_size, per_worker)
         batches = [wave[i:i + batch_size] for i in range(0, len(wave), batch_size)]
         outcomes: List[DeviceOutcome] = []
-        for batch_outcomes in pool.map(self._run_batch, batches):
-            outcomes.extend(batch_outcomes)
+        if self.config.backend == "process":
+            from itertools import repeat
+
+            from repro.fleet.store import record_to_dict
+
+            func, context = self.shard_task
+            payloads = [[record_to_dict(self.registry.get(device_id))
+                         for device_id in batch] for batch in batches]
+            for shard_outcomes in pool.map(func, repeat(context), payloads):
+                outcomes.extend(self._merge_shard_outcome(doc)
+                                for doc in shard_outcomes)
+        else:
+            for batch_outcomes in pool.map(self._run_batch, batches):
+                outcomes.extend(batch_outcomes)
         result = WaveResult(index=index, size=len(wave), applied=0, failed=0)
         for outcome in outcomes:
-            self._apply_outcome(outcome)
+            self._apply_outcome(outcome, prior.get(outcome.device_id))
             result.statuses[outcome.status_label] += 1
             if outcome.applied:
                 result.applied += 1
             else:
                 result.failed += 1
+        if self.post_wave_merge is not None:
+            self.post_wave_merge()
         if self.config.verify_after_wave:
             self._verify_wave(result, outcomes)
+        # Durability point: a kill after this flush resumes from here.
+        self.registry.flush()
         return result
+
+    def _merge_shard_outcome(self, doc: dict) -> DeviceOutcome:
+        """Fold one worker-process outcome document into the registry.
+
+        The worker mutated its own copy of the record (version bump,
+        nonce high-water advance, quarantine on forged evidence); the
+        parent replays those deltas onto the live record here, on the
+        main thread, before the usual outcome accounting runs.
+        """
+        record = self.registry.get(doc["device_id"])
+        record.nonce_high_water = max(record.nonce_high_water,
+                                      doc["nonce_high_water"])
+        # The worker's session is the integrity authority: a verdict
+        # it reached (forged ack, replay) travels as record state and
+        # survives the merge exactly like a thread-backend session
+        # writing the shared record directly.
+        if doc["state"] == Lifecycle.QUARANTINED.value:
+            record.state = Lifecycle.QUARANTINED
+        status = UpdateStatus(doc["status"]) if doc["status"] else None
+        if status is UpdateStatus.APPLIED:
+            record.firmware_version = doc["current_version"]
+            record.applied_versions = list(doc["applied_versions"])
+            # Same re-baseline rule as the thread path: the image
+            # changed, the pinned hash is stale.
+            record.firmware_hash = None
+        return DeviceOutcome(doc["device_id"], status, doc["attempts"],
+                             detail=doc.get("detail", ""))
 
     def _verify_wave(self, result: WaveResult, outcomes: List[DeviceOutcome]):
         """Attest each applied device; demote verification failures.
@@ -249,6 +380,9 @@ class RolloutCampaign:
             if not outcome.applied:
                 continue
             attest = self.session_factory(outcome.device_id).attest()
+            # The attest consumed a nonce (and may have quarantined);
+            # persist before the wave's durability flush.
+            self.registry.save(self.registry.get(outcome.device_id))
             if attest.ok:
                 continue
             result.applied -= 1
@@ -262,25 +396,34 @@ class RolloutCampaign:
             record = self.registry.get(device_id)
             session = self.session_factory(device_id)
             package = self.package_factory(record)
-            status, attempts = session.offer_update(package)
-            outcomes.append(DeviceOutcome(device_id, status, attempts))
+            offer = session.offer_update(package)
+            outcomes.append(DeviceOutcome(device_id, offer.status,
+                                          offer.attempts, detail=offer.detail))
         return outcomes
 
-    def _apply_outcome(self, outcome: DeviceOutcome):
+    def _apply_outcome(self, outcome: DeviceOutcome,
+                       prior: Optional[Lifecycle] = None):
         """Fold one device's result back into the registry (main thread)."""
         record = self.registry.get(outcome.device_id)
         if outcome.applied:
             record.state = Lifecycle.ACTIVE
         else:
             record.update_failures += 1
-            if outcome.status is UpdateStatus.BAD_MAC:
-                # The device rejected evidence signed with its own key:
-                # either the package or the link is compromised.
+            if (outcome.status is UpdateStatus.BAD_MAC
+                    or record.state is Lifecycle.QUARANTINED):
+                # The device rejected evidence signed with its own key
+                # (BAD_MAC), or the session itself already quarantined
+                # (forged ack MAC, replayed capture -- its verdict is
+                # on the record in both backends): the package or the
+                # link is compromised, hands off.
                 record.state = Lifecycle.QUARANTINED
             else:
-                # Roll the UPDATING mark back; the device keeps running
-                # its current (older but authentic) firmware.
-                record.state = Lifecycle.ACTIVE
+                # Roll the UPDATING mark back to the pre-wave state;
+                # the device keeps running its current (older but
+                # authentic) firmware.
+                record.state = prior or Lifecycle.ACTIVE
+        self.registry.save(record)
         if self.telemetry is not None:
             self.telemetry.record_update(outcome.device_id, outcome.status,
-                                         outcome.attempts)
+                                         outcome.attempts,
+                                         detail=outcome.detail)

@@ -19,6 +19,17 @@ retries up to ``max_attempts`` and matches replies by nonce.  A lost
 ack after a successful apply surfaces as a STALE_VERSION retry whose
 reported version already equals the target -- the session folds that
 back into "applied", the classic idempotent-update dance.
+
+Freshness is verifier-side state, SIMPLE/RATA-style: challenge nonces
+are drawn from the record's persistent ``nonce_high_water`` (strictly
+increasing across sessions and process restarts -- a session owns no
+nonce counter of its own), so a captured reply from an earlier run can
+never match a later challenge.  A stale-nonce reply that still
+authenticates under the device key is exactly such a capture being
+replayed and quarantines the device, as does a verified report whose
+device-local ``cycle`` runs backwards (``stale-report``) and an update
+ack whose MAC fails (``bad-ack-mac`` -- distinct from the device simply
+being unreachable).
 """
 
 import enum
@@ -172,11 +183,33 @@ class AttestResult:
     attempts: int = 0
 
 
+@dataclass
+class OfferResult:
+    """One update offer's outcome, as the verifier saw it.
+
+    *status* is the device-reported :class:`UpdateStatus`, or None when
+    no authentic ack arrived -- *detail* then says why: the device was
+    ``unreachable``, the ack carried a forged MAC (``bad-ack-mac``), or
+    a captured ack from an earlier exchange was replayed (``replay``).
+    The latter two quarantine the device.
+    """
+
+    status: Optional[UpdateStatus]
+    attempts: int
+    detail: str = ""
+
+    @property
+    def applied(self) -> bool:
+        return self.status is UpdateStatus.APPLIED
+
+
 class VerifierSession:
     """One verifier<->device conversation: enroll, attest, update.
 
-    Stateless beyond a nonce counter; safe to run one session per
-    campaign worker because each session owns its device's link.
+    Stateless in itself: freshness lives on the DeviceRecord (the
+    persistent nonce high-water mark), so a session can be created and
+    thrown away per exchange -- or per campaign worker, because each
+    session owns its device's link.
     """
 
     def __init__(self, record: DeviceRecord, agent: DeviceAgent, link: Link,
@@ -189,21 +222,33 @@ class VerifierSession:
         # Optional repro.cfg.CfiPolicy: when set, attest() additionally
         # authenticates and replays the device's branch trace.
         self.policy = policy
-        self._nonce = 0
+        # Replies from _exchange whose nonce predates the current
+        # challenge; one that authenticates is a replayed capture.
+        self._stale_replies: List[object] = []
 
     # ---- plumbing --------------------------------------------------------
 
     def _next_nonce(self) -> int:
-        self._nonce += 1
-        return self._nonce
+        """Draw the next challenge nonce from the persistent record.
+
+        The high-water mark advances before use and is never reissued,
+        across sessions or process restarts, which is the whole replay
+        defence: a captured reply's nonce is below every future
+        challenge.
+        """
+        self.record.nonce_high_water += 1
+        return self.record.nonce_high_water
 
     def _exchange(self, kind: MsgKind, body, reply_kind: MsgKind,
                   nonce: int) -> Tuple[Optional[object], int]:
         """Send, pump the device, collect the nonce-matching reply.
 
         Retries over the lossy link; returns (reply_body, attempts) or
-        (None, attempts) when the device stayed unreachable.
+        (None, attempts) when the device stayed unreachable.  Replies
+        with an older nonce are rejected (non-increasing == stale) but
+        kept aside for the caller's replay check.
         """
+        self._stale_replies = []
         for attempt in range(1, self.max_attempts + 1):
             self.link.down.send(VERIFIER_ID, self.record.device_id,
                                 kind.value, body)
@@ -211,10 +256,29 @@ class VerifierSession:
             for envelope in self.link.up.drain():
                 if envelope.kind != reply_kind.value:
                     continue
-                if getattr(envelope.body, "nonce", None) != nonce:
-                    continue  # stale retransmission
+                got = getattr(envelope.body, "nonce", None)
+                if got != nonce:
+                    if isinstance(got, int) and got < nonce:
+                        self._stale_replies.append(envelope.body)
+                    continue
                 return envelope.body, attempt
         return None, self.max_attempts
+
+    def _replay_detected(self, verify) -> bool:
+        """Did a stale-nonce reply authenticate under the device key?
+
+        An honest retransmission always carries the *current* nonce (a
+        retried request repeats it), so a well-MAC'd reply bearing an
+        already-consumed nonce can only be a captured message injected
+        back into the channel.
+        """
+        for body in self._stale_replies:
+            try:
+                if verify(body):
+                    return True
+            except (AttributeError, TypeError, ValueError):
+                continue  # malformed injection; not even a valid capture
+        return False
 
     # ---- exchanges -------------------------------------------------------
 
@@ -224,13 +288,17 @@ class VerifierSession:
         reply, attempts = self._exchange(
             MsgKind.ENROLL_REQ, Challenge(nonce), MsgKind.ENROLL_ACK, nonce)
         if reply is None:
+            if self._replay_detected(
+                    lambda body: body.verify(self.record.key, b"enroll")):
+                self.record.state = Lifecycle.QUARANTINED
+                return AttestResult(False, "replay", attempts=attempts)
             return AttestResult(False, "unreachable", attempts=attempts)
         if not reply.verify(self.record.key, b"enroll"):
             self.record.state = Lifecycle.QUARANTINED
             return AttestResult(False, "bad-mac", attempts=attempts)
         self.record.firmware_hash = reply.report.firmware_hash
         self.record.firmware_version = reply.report.firmware_version
-        self.record.last_seen = reply.report.cycle
+        self.record.observe_cycle(reply.report.cycle)
         return AttestResult(True, report=reply.report, attempts=attempts)
 
     def attest(self) -> AttestResult:
@@ -239,7 +307,12 @@ class VerifierSession:
         reply, attempts = self._exchange(
             MsgKind.ATTEST_REQ, Challenge(nonce), MsgKind.ATTEST_REPORT, nonce)
         if reply is None:
-            result = AttestResult(False, "unreachable", attempts=attempts)
+            if self._replay_detected(
+                    lambda body: body.verify(self.record.key, b"attest")):
+                self.record.state = Lifecycle.QUARANTINED
+                result = AttestResult(False, "replay", attempts=attempts)
+            else:
+                result = AttestResult(False, "unreachable", attempts=attempts)
             self._note_attest(result)
             return result
         if not reply.verify(self.record.key, b"attest"):
@@ -255,6 +328,15 @@ class VerifierSession:
             return result
         report = reply.report
         record = self.record
+        if record.last_seen is not None and report.cycle < record.last_seen:
+            # The device's logical clock only ever advances (resets
+            # included), so a verified report from its past is captured
+            # evidence being served back -- quarantine, never roll
+            # last_seen backwards.
+            record.state = Lifecycle.QUARANTINED
+            result = AttestResult(False, "stale-report", report, attempts)
+            self._note_attest(result)
+            return result
         if (record.firmware_hash is not None
                 and report.firmware_version == record.firmware_version
                 and report.firmware_hash != record.firmware_hash):
@@ -264,7 +346,7 @@ class VerifierSession:
             return result
         record.firmware_hash = report.firmware_hash
         record.firmware_version = report.firmware_version
-        record.last_seen = report.cycle
+        record.observe_cycle(report.cycle)
         record.attest_count += 1
         record.violation_count = report.violation_count
         record.reset_count = report.reset_count
@@ -305,12 +387,16 @@ class VerifierSession:
             return f"trace-replay: {verdict.reason}"
         return None
 
-    def offer_update(self, package: UpdatePackage) -> Tuple[Optional[UpdateStatus], int]:
-        """Offer one signed package; returns (status, attempts).
+    def offer_update(self, package: UpdatePackage) -> OfferResult:
+        """Offer one signed package; returns an :class:`OfferResult`.
 
-        *status* is None when the device never acked (or acked with a
-        forged MAC); otherwise the device-reported UpdateStatus, with
-        the lost-ack retry case normalised back to APPLIED.
+        ``status`` is None when no authentic ack arrived -- ``detail``
+        distinguishes an unreachable device from an ack with a forged
+        MAC (``bad-ack-mac``, quarantined: something on that link is
+        fabricating protocol messages) and a replayed capture
+        (``replay``, also quarantined).  Otherwise the device-reported
+        UpdateStatus, with the lost-ack retry case normalised back to
+        APPLIED.
         """
         version_before = self.record.firmware_version
         nonce = self._next_nonce()
@@ -318,9 +404,18 @@ class VerifierSession:
             MsgKind.UPDATE_OFFER, UpdateOffer(nonce, package),
             MsgKind.UPDATE_ACK, nonce)
         if reply is None:
-            return None, attempts
+            if self._replay_detected(
+                    lambda body: body.verify(self.record.key)):
+                self.record.state = Lifecycle.QUARANTINED
+                return OfferResult(None, attempts, "replay")
+            return OfferResult(None, attempts, "unreachable")
         if not reply.verify(self.record.key):
-            return None, attempts
+            # The ack exists but its MAC is wrong: a forged ack is
+            # evidence of an attacker on the link, not of a device
+            # that never answered -- quarantine instead of retrying
+            # into the attacker's hands.
+            self.record.state = Lifecycle.QUARANTINED
+            return OfferResult(None, attempts, "bad-ack-mac")
         status = reply.status
         if (status is UpdateStatus.STALE_VERSION
                 and package.version > version_before
@@ -332,12 +427,13 @@ class VerifierSession:
             status = UpdateStatus.APPLIED
         if status is UpdateStatus.APPLIED:
             self.record.firmware_version = reply.current_version
+            self.record.applied_versions.append(package.version)
             # The image changed, so the pinned hash is stale; drop it
             # and let the next attest re-baseline.  (Without this every
             # healthy device would "hash-mismatch" on its first
             # post-update heartbeat and quarantine the whole fleet.)
             self.record.firmware_hash = None
-        return status, attempts
+        return OfferResult(status, attempts)
 
     def _note_attest(self, result: AttestResult):
         if self.telemetry is not None:

@@ -2,11 +2,20 @@
 
 One :class:`DeviceRecord` per enrolled device: the provisioned
 per-device update key (``UpdateKey.derive``), the platform it claims,
-its security level, the firmware version/hash last attested, and a
-lifecycle state.  The registry never talks to a device itself -- the
-protocol layer reads keys from it and writes observations back, so the
-registry stays a plain data structure that a later PR can persist or
-shard without touching the wire logic.
+its security level, the firmware version/hash last attested, the
+freshness counters the replay defences depend on (``nonce_high_water``
+-- the highest challenge nonce ever issued to the device, never reused
+-- and monotonic ``last_seen``), and a lifecycle state.  The registry
+never talks to a device itself -- the protocol layer reads keys from
+it and writes observations back, so the registry stays a plain data
+structure.
+
+Persistence is delegated: construct with a
+:class:`~repro.fleet.store.RegistryStore` and the registry loads its
+records from it, ``save()`` upserts one record's document, and
+``flush()`` commits a durability point (plus the fleet-level *meta*
+document: the logical clock and the applied-package log).  Without a
+store the registry behaves exactly as before -- plain dicts, no I/O.
 
 Lifecycle:
 
@@ -53,27 +62,125 @@ class DeviceRecord:
     firmware_version: int = 0
     firmware_hash: Optional[str] = None  # golden hash from enrollment
     enrolled_at: int = 0  # registry logical time
+    # Monotonic device-local time of the newest accepted report; a
+    # verified report whose cycle is below this is replayed/stale
+    # evidence and quarantines the device instead of rolling it back.
     last_seen: Optional[int] = None
     attest_count: int = 0
     violation_count: int = 0
     reset_count: int = 0
     update_failures: int = 0
+    # Challenge-nonce high-water mark.  Every verifier exchange draws
+    # the next nonce from here and the value persists with the record,
+    # so nonces stay strictly increasing across sessions, CLI
+    # invocations and process restarts -- a captured reply from an
+    # earlier run can never match a later challenge.
+    nonce_high_water: int = 0
+    # The exact sequence of update versions this device applied, in
+    # order.  Devices that skip a version (enrolled mid-campaign,
+    # resumed rollouts) have different PMEM from devices that walked
+    # every step; replaying this sequence is what lets a restored
+    # replica hash identically to the real device.
+    applied_versions: List[int] = field(default_factory=list)
+
+    @property
+    def enrolled_ok(self) -> bool:
+        """Did the enrollment handshake ever complete?
+
+        The golden hash alone is not the signal: an applied update
+        clears it pending re-attestation, so a freshly restored
+        post-rollout record legitimately has no pinned hash.
+        """
+        return (self.firmware_hash is not None
+                or self.attest_count > 0
+                or self.firmware_version > 0)
+
+    def observe_cycle(self, cycle: int):
+        """Advance last_seen monotonically (never backwards)."""
+        if self.last_seen is None or cycle > self.last_seen:
+            self.last_seen = cycle
 
     def __str__(self):
         return (f"{self.device_id} [{self.state.value}] "
                 f"v{self.firmware_version} {self.platform}")
 
 
-class FleetRegistry:
-    """In-memory registry keyed by device id."""
+# Added to every record's nonce high-water mark when loading from a
+# store.  Saves between durability points (a SQLite commit, an fsync)
+# can be lost to a kill, and a lost nonce advance would let the next
+# run reissue a challenge an attacker already holds the reply to.  The
+# uncommitted window is a handful of exchanges per device (sweeps and
+# waves flush at their end); skipping 1000 nonces forward on every
+# restart clears it with enormous margin -- nonces are 64-bit and only
+# ever need to increase.
+NONCE_RESTART_SLACK = 1000
 
-    def __init__(self):
+
+class FleetRegistry:
+    """Registry keyed by device id; optionally backed by a store.
+
+    *store* is any :class:`~repro.fleet.store.RegistryStore` (duck
+    typed -- the registry never imports the store module).  When given,
+    existing records and the meta document are loaded at construction
+    and every mutation through the registry's own API persists; direct
+    record mutation (the protocol layer does this) persists at the next
+    explicit :meth:`save`.
+    """
+
+    def __init__(self, store=None):
         self._records: Dict[str, DeviceRecord] = {}
         self.clock = 0  # logical time, bumped by tick()
+        self._store = store
+        self.meta: Dict[str, object] = {}
+        if store is not None:
+            from repro.fleet.store import record_from_dict
+
+            self.meta = store.load_meta()
+            self.clock = int(self.meta.get("clock", 0))
+            for device_id, doc in sorted(store.load_records().items()):
+                record = record_from_dict(doc)
+                # Reserve past any nonce a killed run may have consumed
+                # after its last durability point (see the constant).
+                record.nonce_high_water += NONCE_RESTART_SLACK
+                self._records[device_id] = record
+            if self._records:
+                # Write-ahead: commit the reservation BEFORE any
+                # challenge is issued, so a second crash cannot replay
+                # this restart's nonce base either.
+                self.save_all()
+                self.flush()
+
+    @property
+    def store(self):
+        return self._store
+
+    @property
+    def durable(self) -> bool:
+        return self._store is not None
 
     def tick(self) -> int:
         self.clock += 1
         return self.clock
+
+    # ---- persistence -----------------------------------------------------
+
+    def save(self, record: DeviceRecord):
+        """Upsert one record's document into the store (no-op without)."""
+        if self._store is not None:
+            from repro.fleet.store import record_to_dict
+
+            self._store.save_record(record_to_dict(record))
+
+    def save_all(self):
+        for record in self:
+            self.save(record)
+
+    def flush(self):
+        """Persist meta + commit: everything saved so far is durable."""
+        if self._store is not None:
+            self.meta["clock"] = self.clock
+            self._store.save_meta(self.meta)
+            self._store.flush()
 
     # ---- enrollment ------------------------------------------------------
 
@@ -91,6 +198,7 @@ class FleetRegistry:
             enrolled_at=self.tick(),
         )
         self._records[device_id] = record
+        self.save(record)
         return record
 
     # ---- lookup ----------------------------------------------------------
@@ -122,10 +230,14 @@ class FleetRegistry:
     # ---- state transitions ----------------------------------------------
 
     def quarantine(self, device_id: str):
-        self.get(device_id).state = Lifecycle.QUARANTINED
+        record = self.get(device_id)
+        record.state = Lifecycle.QUARANTINED
+        self.save(record)
 
     def retire(self, device_id: str):
-        self.get(device_id).state = Lifecycle.RETIRED
+        record = self.get(device_id)
+        record.state = Lifecycle.RETIRED
+        self.save(record)
 
     # ---- aggregates ------------------------------------------------------
 

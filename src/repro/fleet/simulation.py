@@ -19,6 +19,20 @@ Adversarial knobs used by tests and the demo:
   and lets it run into the fault (models physical tamper/bitrot); the
   next heartbeat shows the violation log and the hash mismatch
   quarantines the device.
+
+Durability and sharding: pass ``store=`` (a path or a
+:class:`~repro.fleet.store.RegistryStore`) and the registry loads the
+previous run's records -- already-enrolled devices are *restored* (a
+fresh replica is rebuilt from the shared FirmwareSpec, fast-forwarded
+to the record's firmware version, applied payloads and logical clock)
+instead of re-enrolled, so attest/rollout pick up exactly where the
+killed process stopped.  ``rollout(..., resume=True)`` additionally
+skips devices whose durable record already shows the target version.
+With ``CampaignConfig.backend == "process"`` the campaign ships
+record snapshots to worker processes; :func:`_run_shard` below is the
+worker: it rebuilds its shard's devices from the same FirmwareSpec +
+fleet seed and returns mutated record documents for the parent to
+merge.
 """
 
 from typing import Dict, List, Optional, Sequence
@@ -30,6 +44,12 @@ from repro.device import Device, build_device
 from repro.fleet.campaign import CampaignConfig, CampaignReport, RolloutCampaign
 from repro.fleet.protocol import AttestResult, DeviceAgent, VerifierSession
 from repro.fleet.registry import DeviceRecord, FleetError, FleetRegistry
+from repro.fleet.store import (
+    META_FIRMWARE,
+    META_PACKAGES,
+    open_store,
+    record_from_dict,
+)
 from repro.fleet.telemetry import FleetTelemetry
 from repro.fleet.transport import Transport
 
@@ -71,12 +91,16 @@ class FleetSimulation:
 
     def __init__(self, size=0, security="casu", platform="TI MSP430",
                  loss=0.0, reorder=0.0, seed=0, max_attempts=4,
-                 verify_traces=False, firmware: Optional[FirmwareSpec] = None):
+                 verify_traces=False, firmware: Optional[FirmwareSpec] = None,
+                 store=None):
         if size < 0:
             raise ValueError("fleet size must be >= 0")
         self.security = security
         self.platform = platform
         self.max_attempts = max_attempts
+        self.loss = loss
+        self.reorder = reorder
+        self.seed = seed
         # The shared image every enrolled device boots: a declarative
         # FirmwareSpec resolved through the repro.api build path (cached
         # process-wide), defaulting to the resident FLEET_APP node.
@@ -86,14 +110,35 @@ class FleetSimulation:
         # CFI policy recovered from the shared firmware image.
         self.verify_traces = verify_traces
         self._policy = None
-        self.registry = FleetRegistry()
+        # Durable verifier state: a path picks a backend via
+        # open_store; records found in it are restored, not re-enrolled.
+        if isinstance(store, str):
+            store = open_store(store)
+        self.registry = FleetRegistry(store=store)
         self.transport = Transport(loss=loss, reorder=reorder, seed=seed)
         self.telemetry = FleetTelemetry()
         self.devices: Dict[str, Device] = {}
         self.agents: Dict[str, DeviceAgent] = {}
         self._sessions: Dict[str, VerifierSession] = {}
+        # The store's records pin golden hashes of ONE firmware image;
+        # restoring them under a different spec would rebuild wrong
+        # replicas and mass-quarantine healthy devices on the next
+        # heartbeat.  Pin the spec in the meta document and refuse a
+        # mismatch loudly (same no-silent-fallback rule as the API).
+        pinned = self.registry.meta.get(META_FIRMWARE)
+        if pinned is not None and pinned != self.firmware.to_dict():
+            raise FleetError(
+                f"store was built on firmware "
+                f"{pinned.get('name')!r} ({pinned.get('kind')}/"
+                f"{pinned.get('variant')}); refusing to restore it as "
+                f"{self.firmware.name!r} -- pass the original spec")
+        self.registry.meta[META_FIRMWARE] = self.firmware.to_dict()
+        for record in self.registry:
+            self._restore(record)
         if size:
-            self.enroll_many(size)
+            missing = size - len(self.registry)
+            if missing > 0:
+                self.enroll_many(missing)
 
     # ---- enrollment ------------------------------------------------------
 
@@ -106,12 +151,50 @@ class FleetSimulation:
         link = self.transport.link(device_id)
         self.devices[device_id] = device
         self.agents[device_id] = DeviceAgent(device_id, device, link)
-        return self.session(device_id).enroll()
+        result = self.session(device_id).enroll()
+        self.registry.save(record)
+        return result
 
     def enroll_many(self, count: int, prefix="dev") -> List[AttestResult]:
         start = len(self.registry)
-        return [self.enroll(f"{prefix}-{start + index:05d}")
-                for index in range(count)]
+        results = [self.enroll(f"{prefix}-{start + index:05d}")
+                   for index in range(count)]
+        self.registry.flush()
+        return results
+
+    def _restore(self, record: DeviceRecord):
+        """Rebuild one device replica from a durable record.
+
+        The simulated device is deterministic given the shared image
+        and the record: rebuild it, replay the applied update payloads
+        recorded in the store's meta document (so PMEM -- and thus the
+        firmware hash -- matches what the device looked like when the
+        previous process died), fast-forward the monotonic version
+        counter, and advance the device's logical clock past
+        ``last_seen`` (the real device kept running while the verifier
+        was down; a replica that rebooted to cycle 0 would read as a
+        stale-report replay).
+        """
+        device = build_device(build_firmware(self.firmware).program,
+                              security=record.security,
+                              update_key=record.key)
+        device.update_engine.current_version = record.firmware_version
+        # Replay exactly the versions this device applied, in order --
+        # NOT every recorded version <= its counter: a device that
+        # skipped v1 (enrolled late, resumed campaign) must not get
+        # v1's bytes, or its hash diverges from the real device's.
+        packages = self.registry.meta.get(META_PACKAGES, {})
+        for version in record.applied_versions:
+            applied = packages.get(str(version))
+            if applied is not None:
+                device.bus.load_bytes(int(applied["target"]),
+                                      bytes.fromhex(applied["payload"]))
+        if record.last_seen is not None:
+            device.cycle = max(device.cycle, record.last_seen)
+        link = self.transport.link(record.device_id)
+        self.devices[record.device_id] = device
+        self.agents[record.device_id] = DeviceAgent(record.device_id, device,
+                                                    link)
 
     # ---- verifier plumbing -----------------------------------------------
 
@@ -144,8 +227,12 @@ class FleetSimulation:
                    ) -> Dict[str, AttestResult]:
         """One heartbeat sweep; results also land in the telemetry."""
         ids = device_ids if device_ids is not None else self.registry.ids()
-        return {device_id: self.session(device_id).attest()
-                for device_id in ids}
+        results = {}
+        for device_id in ids:
+            results[device_id] = self.session(device_id).attest()
+            self.registry.save(self.registry.get(device_id))
+        self.registry.flush()
+        return results
 
     def run_all(self, max_cycles=2_000):
         """Let every device execute its resident app for a while."""
@@ -191,13 +278,56 @@ class FleetSimulation:
 
     def rollout(self, version: int, payload: Optional[bytes] = None,
                 config: Optional[CampaignConfig] = None,
-                tamper_fraction=0.0, rollback_fraction=0.0) -> CampaignReport:
-        """Run one staged campaign across the manageable fleet."""
+                tamper_fraction=0.0, rollback_fraction=0.0,
+                resume: bool = False,
+                device_ids: Optional[Sequence[str]] = None) -> CampaignReport:
+        """Run one staged campaign across the manageable fleet.
+
+        *resume* skips devices whose (durable) record already shows
+        *version* -- the continuation path after a killed campaign.
+        With ``config.backend == "process"`` the waves execute on a
+        process pool (see :func:`_run_shard`).  *device_ids* targets a
+        subset instead of every manageable device.
+        """
+        config = config or CampaignConfig()
+        payload = payload if payload is not None else default_payload(version)
         tamper_ids = self.adversarial_ids(tamper_fraction, phase=0.25)
         rollback_ids = [device_id
                         for device_id in self.adversarial_ids(
                             rollback_fraction, phase=0.75)
                         if device_id not in set(tamper_ids)]
+        # Record the campaign's clean package in the fleet meta before
+        # any offer goes out: a restarted process replays it onto
+        # restored replicas so their PMEM (and hash) match the devices
+        # that really applied it.  The version -> payload binding is
+        # immutable -- re-offering a version number with different
+        # bytes would corrupt the replay data for devices that already
+        # applied the original (and real updaters bind version to
+        # image immutably anyway).
+        packages = self.registry.meta.setdefault(META_PACKAGES, {})
+        package_doc = {"target": UPDATE_TARGET, "payload": payload.hex()}
+        existing = packages.get(str(version))
+        if existing is not None and existing != package_doc:
+            raise FleetError(
+                f"version {version} was already rolled out with a "
+                f"different payload; resume with the original payload")
+        packages[str(version)] = package_doc
+        self.registry.flush()
+        shard_task = None
+        if config.backend == "process":
+            shard_task = (_run_shard, {
+                "firmware": self.firmware.to_dict(),
+                "security": self.security,
+                "loss": self.loss,
+                "reorder": self.reorder,
+                "seed": self.seed,
+                "max_attempts": self.max_attempts,
+                "version": version,
+                "target": UPDATE_TARGET,
+                "payload": payload.hex(),
+                "tamper_ids": sorted(tamper_ids),
+                "rollback_ids": sorted(rollback_ids),
+            })
         campaign = RolloutCampaign(
             self.registry,
             session_factory=self.session,
@@ -206,8 +336,33 @@ class FleetSimulation:
             target_version=version,
             config=config,
             telemetry=self.telemetry,
+            shard_task=shard_task,
+            # Per wave, not post-run: verify_after_wave must attest
+            # the synced replicas, and a halt must leave the applied
+            # waves' replicas consistent.
+            post_wave_merge=(
+                (lambda: self._sync_replicas(version, payload))
+                if config.backend == "process" else None),
         )
-        return campaign.run()
+        return campaign.run(device_ids=device_ids, resume=resume)
+
+    def _sync_replicas(self, version: int, payload: bytes):
+        """Fast-forward parent replicas after a process-backend wave.
+
+        The authoritative apply (MAC check, monotonic version, ROM
+        copy on the simulated CPU) ran on the worker's rebuilt device;
+        mirror its effect onto the parent's replica -- version counter
+        plus the payload bytes in PMEM -- so later attests and
+        campaigns in this process see the updated image.
+        """
+        for record in self.registry:
+            device = self.devices.get(record.device_id)
+            if device is None:
+                continue
+            if (record.firmware_version == version
+                    and device.update_engine.current_version < version):
+                device.update_engine.current_version = version
+                device.bus.load_bytes(UPDATE_TARGET, payload)
 
     # ---- fault injection -------------------------------------------------
 
@@ -233,3 +388,60 @@ class FleetSimulation:
 
     def status(self) -> str:
         return self.telemetry.render(self.registry)
+
+
+# ---- process-backend shard worker ------------------------------------------
+
+
+def _run_shard(context: dict, record_docs: List[dict]) -> List[dict]:
+    """Run one batch of update conversations in a worker process.
+
+    The campaign pickles this function plus a static *context* (fleet
+    shape + campaign package) and per-batch ``record_to_dict``
+    snapshots.  The worker rebuilds each device from the shared
+    FirmwareSpec (``build_firmware`` is lru-cached, so the image builds
+    once per worker process), fast-forwards its monotonic version
+    counter from the record, recreates its deterministic link from the
+    fleet seed + device id, and drives the full authenticated offer
+    conversation -- ROM copy on the simulated CPU included.  It returns
+    outcome documents carrying the mutated freshness fields for the
+    parent's merge.
+    """
+    spec = FirmwareSpec.from_dict(context["firmware"])
+    program = build_firmware(spec).program
+    transport = Transport(loss=context["loss"], reorder=context["reorder"],
+                          seed=context["seed"])
+    payload = bytes.fromhex(context["payload"])
+    target = context["target"]
+    version = context["version"]
+    tampered = frozenset(context["tamper_ids"])
+    rolled_back = frozenset(context["rollback_ids"])
+    outcomes = []
+    for doc in record_docs:
+        record = record_from_dict(doc)
+        device = build_device(program, security=context["security"],
+                              update_key=record.key)
+        device.update_engine.current_version = record.firmware_version
+        link = transport.link(record.device_id)
+        agent = DeviceAgent(record.device_id, device, link)
+        session = VerifierSession(record, agent, link,
+                                  max_attempts=context["max_attempts"])
+        if record.device_id in rolled_back:
+            package = UpdatePackage.make(record.key, target, payload,
+                                         record.firmware_version)
+        else:
+            package = UpdatePackage.make(record.key, target, payload, version)
+            if record.device_id in tampered:
+                package = package.tampered()
+        offer = session.offer_update(package)
+        outcomes.append({
+            "device_id": record.device_id,
+            "status": offer.status.value if offer.status else None,
+            "detail": offer.detail,
+            "attempts": offer.attempts,
+            "current_version": record.firmware_version,
+            "nonce_high_water": record.nonce_high_water,
+            "applied_versions": list(record.applied_versions),
+            "state": record.state.value,
+        })
+    return outcomes

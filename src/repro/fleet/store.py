@@ -1,0 +1,356 @@
+"""Durable verifier state: pluggable persistence for the registry.
+
+The registry docstring always promised to "stay a plain data structure
+that a later PR can persist or shard without touching the wire logic";
+this module is that persistence.  A :class:`RegistryStore` snapshots
+:class:`~repro.fleet.registry.DeviceRecord` documents -- including the
+freshness counters the replay defences depend on (``nonce_high_water``,
+monotonic ``last_seen``) -- plus one fleet-level *meta* document (the
+registry's logical clock and the log of applied update packages, so a
+restarted simulation can fast-forward its device replicas).
+
+Three backends, one contract:
+
+* :class:`MemoryStore`  -- dicts; the default, zero I/O.
+* :class:`JsonlStore`   -- an append-only JSON-lines log; every save is
+  one appended line, loads fold the log last-wins, ``close()`` compacts.
+  Crash-friendly: a torn final line is ignored, everything before it
+  survives.
+* :class:`SqliteStore`  -- one table per document kind, upserts inside
+  a transaction that ``flush()`` commits (campaigns flush per wave).
+
+``open_store(path)`` picks a backend from the path: ``None`` /
+``":memory:"`` -> memory, ``.db`` / ``.sqlite`` / ``.sqlite3`` ->
+SQLite, anything else -> JSON lines.
+
+Record documents are also the process-shard wire format: campaign
+workers receive ``record_to_dict`` snapshots, rebuild their shard's
+devices, and ship mutated documents back for the parent to merge --
+the store and the shard protocol deliberately share one codec.
+"""
+
+import json
+import os
+import sqlite3
+import threading
+from typing import Dict, Optional
+
+from repro.casu.update import UpdateKey
+from repro.fleet.registry import DeviceRecord, FleetError, Lifecycle
+
+META_CLOCK = "clock"
+META_PACKAGES = "packages"  # version(str) -> {"target": int, "payload": hex}
+META_FIRMWARE = "firmware"  # the FirmwareSpec dict the fleet was built on
+
+
+# ---- the record codec ------------------------------------------------------
+
+
+def record_to_dict(record: DeviceRecord) -> dict:
+    """A JSON-safe snapshot of one record (also the shard wire format)."""
+    return {
+        "device_id": record.device_id,
+        "key": record.key.secret.hex(),
+        "platform": record.platform,
+        "security": record.security,
+        "state": record.state.value,
+        "firmware_version": record.firmware_version,
+        "firmware_hash": record.firmware_hash,
+        "enrolled_at": record.enrolled_at,
+        "last_seen": record.last_seen,
+        "attest_count": record.attest_count,
+        "violation_count": record.violation_count,
+        "reset_count": record.reset_count,
+        "update_failures": record.update_failures,
+        "nonce_high_water": record.nonce_high_water,
+        "applied_versions": list(record.applied_versions),
+    }
+
+
+def record_from_dict(doc: dict) -> DeviceRecord:
+    try:
+        return DeviceRecord(
+            device_id=doc["device_id"],
+            key=UpdateKey(bytes.fromhex(doc["key"])),
+            platform=doc["platform"],
+            security=doc["security"],
+            state=Lifecycle(doc["state"]),
+            firmware_version=doc["firmware_version"],
+            firmware_hash=doc.get("firmware_hash"),
+            enrolled_at=doc.get("enrolled_at", 0),
+            last_seen=doc.get("last_seen"),
+            attest_count=doc.get("attest_count", 0),
+            violation_count=doc.get("violation_count", 0),
+            reset_count=doc.get("reset_count", 0),
+            update_failures=doc.get("update_failures", 0),
+            nonce_high_water=doc.get("nonce_high_water", 0),
+            applied_versions=list(doc.get("applied_versions", ())),
+        )
+    except (KeyError, ValueError) as error:
+        raise FleetError(f"malformed stored device record: {error}") from None
+
+
+# ---- the backend contract --------------------------------------------------
+
+
+class RegistryStore:
+    """Persistence contract the registry talks to.
+
+    One document per device (last write wins) plus one meta document.
+    Implementations must make ``flush()`` a durability point: anything
+    saved before a flush survives a process kill after it.
+    """
+
+    backend = "abstract"
+
+    def load_records(self) -> Dict[str, dict]:
+        raise NotImplementedError
+
+    def save_record(self, doc: dict):
+        raise NotImplementedError
+
+    def load_meta(self) -> dict:
+        raise NotImplementedError
+
+    def save_meta(self, meta: dict):
+        raise NotImplementedError
+
+    def flush(self):
+        pass
+
+    def close(self):
+        self.flush()
+
+    # Context-manager sugar so scripts can `with open_store(...) as s:`.
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class MemoryStore(RegistryStore):
+    """Dict-backed store: the process-local default, zero I/O.
+
+    Round-trips through the same document codec as the durable
+    backends, so swapping a path in changes durability and nothing
+    else.
+    """
+
+    backend = "memory"
+
+    def __init__(self):
+        self._records: Dict[str, dict] = {}
+        self._meta: dict = {}
+
+    def load_records(self) -> Dict[str, dict]:
+        return {device_id: dict(doc)
+                for device_id, doc in self._records.items()}
+
+    def save_record(self, doc: dict):
+        self._records[doc["device_id"]] = dict(doc)
+
+    def load_meta(self) -> dict:
+        return json.loads(json.dumps(self._meta)) if self._meta else {}
+
+    def save_meta(self, meta: dict):
+        self._meta = json.loads(json.dumps(meta))
+
+
+class JsonlStore(RegistryStore):
+    """Append-only JSON-lines log; loads fold last-wins.
+
+    Every ``save_record`` appends one ``{"kind": "record", ...}`` line;
+    ``save_meta`` appends a ``{"kind": "meta", ...}`` line.  A crash can
+    only tear the final line, which load() skips, so the store is as
+    durable as its last flushed write.  ``compact()`` (run on close)
+    rewrites the file to one line per live document.
+    """
+
+    backend = "jsonl"
+
+    # Compact at open when the log holds this many times more lines
+    # than live documents -- long-lived append-only verifiers (cron
+    # heartbeats) rarely close cleanly, so open is the reliable hook.
+    COMPACT_FACTOR = 4
+
+    def __init__(self, path: str):
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._records, self._meta, self._lines = self._load_file()
+        self._file = open(path, "a", encoding="utf-8")
+        live = len(self._records) + (1 if self._meta else 0)
+        if self._lines > max(64, self.COMPACT_FACTOR * live):
+            self.compact()
+
+    def _load_file(self):
+        records: Dict[str, dict] = {}
+        meta: dict = {}
+        lines = 0
+        if not os.path.exists(self.path):
+            return records, meta, lines
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail from a kill mid-append
+                lines += 1
+                kind = doc.pop("kind", "record")
+                if kind == "meta":
+                    meta = doc
+                elif "device_id" in doc:
+                    records[doc["device_id"]] = doc
+        return records, meta, lines
+
+    def _append(self, doc: dict):
+        self._file.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._lines += 1
+
+    def load_records(self) -> Dict[str, dict]:
+        with self._lock:
+            return {device_id: dict(doc)
+                    for device_id, doc in self._records.items()}
+
+    def save_record(self, doc: dict):
+        with self._lock:
+            self._records[doc["device_id"]] = dict(doc)
+            self._append({"kind": "record", **doc})
+            # Push the line to the kernel immediately: a SIGKILL then
+            # loses nothing (only power loss needs the fsync that
+            # flush() adds).  Nonce high-water saves rely on this.
+            self._file.flush()
+
+    def load_meta(self) -> dict:
+        with self._lock:
+            return dict(self._meta)
+
+    def save_meta(self, meta: dict):
+        with self._lock:
+            self._meta = json.loads(json.dumps(meta))
+            self._append({"kind": "meta", **self._meta})
+
+    def flush(self):
+        with self._lock:
+            if self._file.closed:
+                return
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def compact(self):
+        """Rewrite the log to one line per live document.
+
+        Atomically: the compacted log is written to a sibling temp
+        file and os.replace()'d over the live one, so a kill at any
+        point leaves either the full old log or the full new one --
+        never a truncated registry (the records ARE the device keys).
+        """
+        with self._lock:
+            if self._file.closed:
+                return
+            self._file.close()
+            temp_path = self.path + ".compact"
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                if self._meta:
+                    handle.write(json.dumps(
+                        {"kind": "meta", **self._meta}, sort_keys=True) + "\n")
+                for doc in self._records.values():
+                    handle.write(json.dumps(
+                        {"kind": "record", **doc}, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, self.path)
+            self._lines = len(self._records) + (1 if self._meta else 0)
+            self._file = open(self.path, "a", encoding="utf-8")
+
+    def close(self):
+        if self._file.closed:
+            return
+        self.compact()
+        self.flush()
+        self._file.close()
+
+
+class SqliteStore(RegistryStore):
+    """SQLite-backed store: upserts batched until ``flush()`` commits.
+
+    Campaigns flush once per wave, so a kill mid-wave rolls back to the
+    previous wave's committed state -- the resume path then re-offers
+    only that wave, and the device-side monotonic version check makes
+    the re-offers idempotent.
+    """
+
+    backend = "sqlite"
+
+    def __init__(self, path: str):
+        self.path = path
+        if path != ":memory:":
+            directory = os.path.dirname(os.path.abspath(path))
+            os.makedirs(directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        with self._conn:  # schema setup commits immediately
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS records ("
+                " device_id TEXT PRIMARY KEY, doc TEXT NOT NULL)")
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta ("
+                " id INTEGER PRIMARY KEY CHECK (id = 0), doc TEXT NOT NULL)")
+
+    def load_records(self) -> Dict[str, dict]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT device_id, doc FROM records").fetchall()
+        return {device_id: json.loads(doc) for device_id, doc in rows}
+
+    def save_record(self, doc: dict):
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO records (device_id, doc) VALUES (?, ?) "
+                "ON CONFLICT(device_id) DO UPDATE SET doc = excluded.doc",
+                (doc["device_id"], json.dumps(doc, sort_keys=True)))
+
+    def load_meta(self) -> dict:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT doc FROM meta WHERE id = 0").fetchone()
+        return json.loads(row[0]) if row else {}
+
+    def save_meta(self, meta: dict):
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO meta (id, doc) VALUES (0, ?) "
+                "ON CONFLICT(id) DO UPDATE SET doc = excluded.doc",
+                (json.dumps(meta, sort_keys=True),))
+
+    def flush(self):
+        with self._lock:
+            if not self._closed:
+                self._conn.commit()
+
+    def close(self):
+        with self._lock:
+            if self._closed:
+                return
+            self._conn.commit()
+            self._conn.close()
+            self._closed = True
+
+
+SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+
+def open_store(path: Optional[str]) -> RegistryStore:
+    """Pick a backend from *path*: memory, SQLite, or JSON lines."""
+    if path is None or path == ":memory:":
+        return MemoryStore()
+    if path.endswith(SQLITE_SUFFIXES):
+        return SqliteStore(path)
+    return JsonlStore(path)

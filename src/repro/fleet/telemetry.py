@@ -63,9 +63,14 @@ class FleetTelemetry:
                 self._seen[device_id] = (totals, report.reset_count)
 
     def record_update(self, device_id: str, status: Optional[UpdateStatus],
-                      attempts: int):
+                      attempts: int, detail: str = ""):
+        """Fold one offer outcome.  *detail* labels the status-less
+        failures: "unreachable", "bad-ack-mac" (forged ack MAC --
+        counted separately so an active attacker on the link is never
+        mistaken for packet loss) or "replay"."""
         with self._lock:
-            self.update_statuses[status.value if status else "unreachable"] += 1
+            label = status.value if status else (detail or "unreachable")
+            self.update_statuses[label] += 1
             self.attempt_histogram[attempts] += 1
 
     # ---- aggregates ------------------------------------------------------

@@ -48,8 +48,12 @@ class ChannelStats:
 
 
 def _check_probability(name, value):
-    if not 0.0 <= value < 1.0:
-        raise ValueError(f"{name} must be in [0, 1)")
+    # The closed interval: loss=1.0 models a fully partitioned channel
+    # (every message dropped), which fleet tests use to assert that an
+    # unreachable population degrades cleanly instead of corrupting
+    # verifier state.
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1]")
 
 
 class SimChannel:

@@ -11,6 +11,8 @@ The scale-sensitive negative paths the subsystem exists for:
   reordering channel.
 """
 
+from collections import Counter
+
 import pytest
 
 from repro.casu.update import UpdatePackage, UpdateStatus
@@ -20,7 +22,9 @@ from repro.fleet import (
     CampaignStatus,
     FleetSimulation,
     Lifecycle,
+    MsgKind,
     SimChannel,
+    VerifierSession,
 )
 from repro.fleet.registry import FleetError, FleetRegistry
 from repro.fleet.simulation import UPDATE_TARGET, default_payload
@@ -91,6 +95,34 @@ class TestTransport:
         assert sorted(order) == list(range(20))
         assert order != list(range(20))
 
+    def test_full_partition_is_modellable(self):
+        # loss=1.0 (the closed interval) models a fully partitioned
+        # channel: every message dropped, deterministically.
+        channel = SimChannel(loss=1.0, seed=0)
+        assert all(channel.send("v", "d", "k", index) is None
+                   for index in range(10))
+        assert channel.drain() == []
+        assert channel.stats.dropped == 10
+        with pytest.raises(ValueError):
+            SimChannel(loss=1.01)
+        with pytest.raises(ValueError):
+            SimChannel(reorder=-0.1)
+
+    def test_fully_partitioned_fleet_degrades_cleanly(self):
+        # Every exchange times out, nothing is quarantined, and no
+        # verifier state is corrupted: devices stay ENROLLED (their
+        # offers roll back to the pre-wave state, not to ACTIVE).
+        fleet = FleetSimulation(size=6, loss=1.0)
+        assert all(result.detail == "unreachable"
+                   for result in fleet.attest_all().values())
+        report = fleet.rollout(version=1)
+        assert report.status is CampaignStatus.HALTED
+        assert report.applied == 0
+        assert report.waves[0].statuses["unreachable"] == report.waves[0].size
+        assert not fleet.registry.by_state(Lifecycle.QUARANTINED)
+        assert len(fleet.registry.by_state(Lifecycle.ENROLLED)) == 6
+        assert fleet.registry.version_histogram() == {0: 6}
+
 
 # ---- protocol --------------------------------------------------------------
 
@@ -130,6 +162,130 @@ class TestProtocol:
         result = fleet.attest_all([victim])[victim]
         assert not result.ok and result.detail == "bad-mac"
         assert fleet.registry.get(victim).state is Lifecycle.QUARANTINED
+
+    def test_nonces_strictly_increase_across_sessions(self):
+        # The high-water mark lives on the record, not the session: a
+        # fresh session never reissues an old challenge nonce.
+        fleet = FleetSimulation(size=1)
+        victim = fleet.registry.ids()[0]
+        record = fleet.registry.get(victim)
+        first = record.nonce_high_water
+        assert first > 0  # enrollment consumed nonce(s)
+        fleet.attest_all()
+        fresh = VerifierSession(record, fleet.agents[victim],
+                                fleet.transport.link(victim))
+        assert fresh.attest().ok
+        assert record.nonce_high_water > first + 1
+
+    def test_replayed_report_rejected_and_quarantined(self):
+        """Regression: a captured SignedReport from an earlier session
+        used to verify in a later one because nonces restarted at 1."""
+        from repro.fleet.protocol import VERIFIER_ID, Challenge
+
+        fleet = FleetSimulation(size=2)
+        victim = fleet.registry.ids()[0]
+        record = fleet.registry.get(victim)
+        link = fleet.transport.link(victim)
+        agent = fleet.agents[victim]
+        # Capture one authentic report off the wire (attacker on the
+        # uplink): challenge the device directly and pocket the reply.
+        nonce = record.nonce_high_water + 1
+        record.nonce_high_water = nonce
+        link.down.send(VERIFIER_ID, victim, MsgKind.ATTEST_REQ.value,
+                       Challenge(nonce))
+        agent.pump()
+        captured = [envelope.body for envelope in link.up.drain()
+                    if envelope.kind == MsgKind.ATTEST_REPORT.value][0]
+        assert captured.verify(record.key, b"attest")  # it IS authentic
+
+        # "Next process run": a brand-new session over the same record,
+        # the real device silenced, the attacker serving the capture.
+        class SilentAgent:
+            def pump(self):
+                pass
+
+        replayed = VerifierSession(record, SilentAgent(), link,
+                                   max_attempts=2)
+        link.up.send(victim, VERIFIER_ID, MsgKind.ATTEST_REPORT.value,
+                     captured)
+        result = replayed.attest()
+        assert not result.ok and result.detail == "replay"
+        assert record.state is Lifecycle.QUARANTINED
+
+    def test_replayed_update_ack_rejected_and_quarantined(self):
+        from repro.fleet.protocol import VERIFIER_ID
+        from repro.fleet.simulation import UPDATE_TARGET, default_payload
+
+        fleet = FleetSimulation(size=1)
+        victim = fleet.registry.ids()[0]
+        record = fleet.registry.get(victim)
+        link = fleet.transport.link(victim)
+        # A real offer produces a real, capturable ack.
+        session = fleet.session(victim)
+        package = UpdatePackage.make(record.key, UPDATE_TARGET,
+                                     default_payload(1), version=1)
+        captured = []
+        original_drain = link.up.drain
+
+        def tapping_drain():
+            envelopes = original_drain()
+            captured.extend(e.body for e in envelopes
+                            if e.kind == MsgKind.UPDATE_ACK.value)
+            return envelopes
+
+        link.up.drain = tapping_drain
+        assert session.offer_update(package).applied
+        link.up.drain = original_drain
+        assert captured
+
+        class SilentAgent:
+            def pump(self):
+                pass
+
+        fresh = VerifierSession(record, SilentAgent(), link, max_attempts=2)
+        link.up.send(victim, VERIFIER_ID, MsgKind.UPDATE_ACK.value,
+                     captured[0])
+        offer = fresh.offer_update(UpdatePackage.make(
+            record.key, UPDATE_TARGET, default_payload(2), version=2))
+        assert offer.status is None and offer.detail == "replay"
+        assert record.state is Lifecycle.QUARANTINED
+
+    def test_stale_report_quarantines_instead_of_rolling_back(self):
+        # A verified report whose device-local cycle runs backwards is
+        # served-up old evidence; last_seen must never move backwards.
+        fleet = FleetSimulation(size=1)
+        victim = fleet.registry.ids()[0]
+        fleet.run_all(max_cycles=500)
+        fleet.attest_all()
+        record = fleet.registry.get(victim)
+        seen = record.last_seen
+        assert seen is not None and seen > 0
+        fleet.devices[victim].cycle = 0  # device "rewound" to its past
+        result = fleet.attest_all([victim])[victim]
+        assert not result.ok and result.detail == "stale-report"
+        assert record.state is Lifecycle.QUARANTINED
+        assert record.last_seen == seen  # untouched, not rolled back
+
+    def test_forged_ack_mac_distinguished_from_unreachable(self):
+        """Regression: a forged-MAC ack used to count as 'unreachable'
+        and the device was never quarantined."""
+        fleet = FleetSimulation(size=2)
+        victim, honest = fleet.registry.ids()
+        # After enrollment, swap the device's key: its acks no longer
+        # authenticate under the key the registry provisioned.
+        from repro.casu.update import UpdateKey
+
+        fleet.devices[victim].update_engine.key = UpdateKey.derive("mallory")
+        report = fleet.rollout(version=1,
+                               config=CampaignConfig(failure_threshold=1.0))
+        statuses = Counter()
+        for wave in report.waves:
+            statuses.update(wave.statuses)
+        assert statuses["bad-ack-mac"] == 1
+        assert statuses["unreachable"] == 0
+        assert fleet.registry.get(victim).state is Lifecycle.QUARANTINED
+        assert fleet.registry.get(honest).state is Lifecycle.ACTIVE
+        assert fleet.telemetry.update_statuses["bad-ack-mac"] == 1
 
 
 # ---- campaigns -------------------------------------------------------------
@@ -244,6 +400,8 @@ class TestRollout:
             CampaignConfig(workers=-1)
         with pytest.raises(ValueError):
             CampaignConfig(failure_threshold=-0.1)
+        with pytest.raises(ValueError):
+            CampaignConfig(backend="fiber")
 
     def test_simulation_validates_eagerly(self):
         with pytest.raises(ValueError):
