@@ -16,10 +16,12 @@ Reference numbers (container this PR was developed in):
 * monitored device step (``security="casu"``): ~38k -> ~118k instr/s.
 """
 
+import gc
 import time
 
 from repro.device import build_device
 from repro.eval.microbench import measure_micro, render_micro
+from repro.obs.metrics import METRICS
 from repro.toolchain import link, parse_source
 
 # Absolute floors, far below the reference machine so CI noise cannot
@@ -28,6 +30,11 @@ RAW_FLOOR_IPS = 120_000
 MONITORED_FLOOR_IPS = 40_000
 # The tentpole gate: cached vs. uncached on the same machine.
 CACHE_SPEEDUP_FLOOR = 2.0
+# The observability gate: metrics instrumentation sits at the
+# run_steps *batch* boundary (one span + two counter bumps per call,
+# never inside the step loop), so enabling it may cost at most 2%
+# against the disabled path's single attribute check.
+INSTRUMENTATION_OVERHEAD_CEILING = 1.02
 
 # A loop mixing register, absolute and immediate operands, conditional
 # and unconditional jumps -- the step-loop shapes the Table IV apps hit.
@@ -109,3 +116,41 @@ def test_bench_decode_cache_speedup(benchmark):
     benchmark.extra_info["uncached_instr_per_sec"] = round(uncached)
     benchmark.extra_info["speedup"] = round(speedup, 2)
     assert speedup >= CACHE_SPEEDUP_FLOOR
+
+
+def test_bench_instrumentation_overhead(benchmark):
+    """Metrics on vs. off around the batched step loop, interleaved
+    min-of-7 (same de-noising shape as bench_api): the per-batch span
+    + counters must stay under the 2% ceiling, proving the
+    instrumentation never entered the per-step hot path."""
+    program = _hot_program()
+    steps = 60_000
+
+    def measure():
+        enabled_best = disabled_best = 0.0
+        was_enabled = METRICS.enabled
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(7):
+                METRICS.enable(False)
+                disabled_best = max(disabled_best,
+                                    _device_ips(program, "none", steps))
+                METRICS.enable(True)
+                enabled_best = max(enabled_best,
+                                   _device_ips(program, "none", steps))
+        finally:
+            METRICS.enable(was_enabled)
+            if gc_was_enabled:
+                gc.enable()
+        return enabled_best, disabled_best
+
+    enabled_ips, disabled_ips = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    overhead = disabled_ips / enabled_ips
+    benchmark.extra_info["enabled_instr_per_sec"] = round(enabled_ips)
+    benchmark.extra_info["disabled_instr_per_sec"] = round(disabled_ips)
+    benchmark.extra_info["overhead"] = round(overhead, 4)
+    assert overhead <= INSTRUMENTATION_OVERHEAD_CEILING, (
+        f"metrics-enabled batched stepping is {overhead:.4f}x slower "
+        f"than disabled (ceiling {INSTRUMENTATION_OVERHEAD_CEILING})")

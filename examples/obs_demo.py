@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Longitudinal observability: the fleet's memory across restarts.
+
+``fleet_demo.py`` shows one verifier process doing everything once.
+This demo shows the layer that remembers it all: every operational
+fact (enroll, attest, offer, quarantine, wave, campaign bracket,
+violation delta) lands in an append-only event DB, metrics and spans
+time the stack from session phases down to interpreter batches, and
+the history queries answer questions no single process could:
+
+1. run three successive campaigns over ONE durable SQLite store +
+   event DB, restarting the verifier between each (close, reopen,
+   restore) -- campaign two is attacked by a MITM;
+2. replay a per-device timeline from the event DB alone;
+3. fold the per-campaign rollup (who quarantined, why, how fast);
+4. read the cross-campaign trend series;
+5. snapshot the metrics registry: phase spans, campaign waves,
+   interpreter batch counters -- and show the off switch is real.
+"""
+
+import os
+import tempfile
+
+from repro.api import FleetSpec, RolloutSpec, ScenarioSpec, Session
+from repro.obs import METRICS, open_event_log
+
+FLEET = 60
+
+
+def make_spec(store, events):
+    return ScenarioSpec(
+        name="obs-demo",
+        security="casu",
+        fleet=FleetSpec(size=FLEET, seed=11, store=store, events=events),
+    )
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="eilid-obs-")
+    store = os.path.join(workdir, "registry.db")
+    events = os.path.join(workdir, "events.db")
+
+    print(f"1. three campaigns, one event DB ({events}), one restart each:")
+    for version, tamper in ((1, 0.0), (2, 0.10), (3, 0.0)):
+        session = Session(make_spec(store, events))
+        rollout = session.rollout(RolloutSpec(
+            version=version, tamper_fraction=tamper,
+            failure_threshold=0.5))
+        note = " (under MITM attack)" if tamper else ""
+        print(f"   v{version}{note}: {rollout.status}, "
+              f"{rollout.applied} applied, {rollout.failed} failed, "
+              f"{rollout.devices_per_sec:.0f} dev/s")
+        # The restart: close the durable layers like a dying process.
+        session.fleet.registry.flush()
+        session.fleet.registry.store.close()
+        session.fleet.events.close()
+
+    log = open_event_log(events)
+
+    print("2. one device's whole life, replayed from the event DB:")
+    rollup = log.device_rollup()
+    victim = next(device_id for device_id, entry in sorted(rollup.items())
+                  if entry["quarantine_reason"])
+    for doc in log.device_timeline(victim):
+        data = " ".join(f"{k}={doc['data'][k]}" for k in sorted(doc["data"]))
+        print(f"   seq={doc['seq']:<4} {doc['kind']:<12} "
+              f"campaign={doc['campaign'] or '-':<5} {data}")
+    assert rollup[victim]["quarantine_reason"] == "rejected-bad-mac"
+
+    print("3. per-campaign rollup (all three processes' worth):")
+    campaigns = log.campaign_rollup()
+    for entry in campaigns:
+        print(f"   {entry['campaign']}: v{entry['target_version']} "
+              f"{entry['status']}, applied={entry['applied']} "
+              f"failed={entry['failed']} quarantined={entry['quarantined']} "
+              f"reasons={entry['quarantine_reasons']}")
+    assert len(campaigns) == 3
+    assert campaigns[1]["quarantined"] > 0  # the attacked campaign
+    assert campaigns[0]["quarantined"] == campaigns[2]["quarantined"] == 0
+
+    print("4. cross-campaign trends:")
+    trends = log.trends()
+    print(f"   versions:  {trends['target_versions']}")
+    print(f"   dev/s:     {trends['devices_per_sec']}")
+    print(f"   quarantined: {trends['quarantined']}")
+    assert trends["target_versions"] == [1, 2, 3]
+    log.close()
+
+    print("5. the metrics registry (process-global, all three campaigns):")
+    snapshot = METRICS.snapshot()
+    print(f"   fleet.updates = {snapshot['counters']['fleet.updates']}")
+    for name, data in snapshot["histograms"].items():
+        if name.startswith(("session.", "campaign.")):
+            print(f"   {name}: count={data['count']} "
+                  f"mean={data['mean']:.2f}ms")
+    assert snapshot["histograms"]["campaign.run.ms"]["count"] == 3
+    before = METRICS.counter("interpreter.batches")
+    METRICS.enable(False)  # the off switch: one attribute check per batch
+    METRICS.inc("interpreter.batches")
+    METRICS.enable(True)
+    assert METRICS.counter("interpreter.batches") == before
+
+    print("\nobs demo OK: one event DB answered per-device, per-campaign "
+          "and cross-campaign questions across three verifier restarts.")
+
+
+if __name__ == "__main__":
+    main()

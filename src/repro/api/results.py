@@ -100,6 +100,10 @@ class RolloutDetails:
     devices_per_sec: float
     backend: str = "thread"
     resumed: int = 0  # devices skipped by resume (already at target)
+    # Span timings observed during this campaign (histogram snapshots
+    # keyed by span name, e.g. "campaign.wave.ms"); None when the
+    # process metrics registry is disabled.
+    metrics: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {
@@ -114,6 +118,7 @@ class RolloutDetails:
             "devices_per_sec": round(self.devices_per_sec, 1),
             "backend": self.backend,
             "resumed": self.resumed,
+            "metrics": self.metrics,
         }
 
 

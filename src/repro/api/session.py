@@ -34,6 +34,7 @@ from repro.api.results import (
     report_to_dict,
 )
 from repro.api.spec import FirmwareSpec, ScenarioSpec, SpecError, as_spec
+from repro.obs.metrics import METRICS
 
 
 # ---- declarative peripheral stimulus ---------------------------------------
@@ -188,6 +189,7 @@ class Session:
                 verify_traces=spec.fleet.verify_traces,
                 firmware=firmware,
                 store=spec.fleet.store,
+                events=spec.fleet.events,
             )
             # Enrollment happens in the constructor (or records are
             # restored from the durable store); enrolled_ok is the
@@ -205,7 +207,8 @@ class Session:
         if self._artifacts is None:
             spec = self.spec
             fw_spec = self._firmware_spec()
-            build = self._ensure_firmware()
+            with METRICS.span("session.build"):
+                build = self._ensure_firmware()
             self._artifacts = BuildArtifacts(
                 scenario=spec.name,
                 workload=spec.workload,
@@ -229,7 +232,8 @@ class Session:
             runner = {"run": self._run_single,
                       "attack": self._run_attack,
                       "fleet": self._run_fleet}[self.workload]
-            self._run_outcome = runner()
+            with METRICS.span("session.run"):
+                self._run_outcome = runner()
         return self._run_outcome
 
     def _run_single(self) -> RunOutcome:
@@ -299,13 +303,14 @@ class Session:
             verify_after_wave=plan.verify_after_wave,
             backend=plan.backend,
         )
-        report = self.fleet.rollout(
-            version=plan.version,
-            config=config,
-            tamper_fraction=plan.tamper_fraction,
-            rollback_fraction=plan.rollback_fraction,
-            resume=plan.resume,
-        )
+        with METRICS.span("session.rollout"):
+            report = self.fleet.rollout(
+                version=plan.version,
+                config=config,
+                tamper_fraction=plan.tamper_fraction,
+                rollback_fraction=plan.rollback_fraction,
+                resume=plan.resume,
+            )
         self.campaign_report = report
         details = RolloutDetails(
             status=report.status.value,
@@ -323,6 +328,7 @@ class Session:
             devices_per_sec=report.devices_per_sec,
             backend=report.backend,
             resumed=report.resumed,
+            metrics=self._campaign_metrics(),
         )
         # A campaign changes the evidence (firmware hashes, lifecycle
         # states, device cycles): every cached aggregate would go
@@ -333,6 +339,23 @@ class Session:
         if self._run_outcome is not None:
             self._run_outcome = self._fleet_run_outcome(details)
         return details
+
+    @staticmethod
+    def _campaign_metrics() -> Optional[dict]:
+        """Campaign span timings for a RolloutDetails (None if disabled)."""
+        if not METRICS.enabled:
+            return None
+        snapshot = METRICS.snapshot()["histograms"]
+        return {name: data for name, data in snapshot.items()
+                if name.startswith("campaign.")}
+
+    def metrics(self) -> dict:
+        """Snapshot of the process metrics registry (counters, gauges,
+        span histograms).  Cumulative across the process, not scoped to
+        this session -- the registry is deliberately global so the
+        fleet layers, the interpreter batches and the session phases
+        all land in one place."""
+        return METRICS.snapshot()
 
     def _fleet_run_outcome(self, rollout) -> RunOutcome:
         """Aggregate the fleet's current device state into a RunOutcome."""
@@ -412,21 +435,22 @@ class Session:
         """Collect attestation evidence; folds the per-device stream."""
         if self._attest_outcome is None:
             spec = self.spec
-            if self.workload == "fleet":
-                total = ok = 0
-                quarantined = []
-                for record in self.attest_stream():
-                    total += 1
-                    if record.ok:
-                        ok += 1
-                    elif len(quarantined) < SAMPLE_LIMIT:
-                        quarantined.append(record.device_id)
-                report = None
-            else:
-                self.run()
-                total = ok = 1
-                quarantined = []
-                report = report_to_dict(self.device.attestation_report())
+            with METRICS.span("session.attest"):
+                if self.workload == "fleet":
+                    total = ok = 0
+                    quarantined = []
+                    for record in self.attest_stream():
+                        total += 1
+                        if record.ok:
+                            ok += 1
+                        elif len(quarantined) < SAMPLE_LIMIT:
+                            quarantined.append(record.device_id)
+                    report = None
+                else:
+                    self.run()
+                    total = ok = 1
+                    quarantined = []
+                    report = report_to_dict(self.device.attestation_report())
             self._attest_outcome = AttestOutcome(
                 scenario=spec.name,
                 workload=spec.workload,
@@ -477,21 +501,22 @@ class Session:
         if self._verify_outcome is None:
             spec = self.spec
             self.run()
-            policy = self._policy()
-            total = ok = edges = dropped = 0
-            reason = ""
-            rejected = []
-            for record in self.verify_stream():
-                total += 1
-                edges += record.edges_checked
-                dropped += record.dropped
-                if record.ok:
-                    ok += 1
-                else:
-                    if not reason:
-                        reason = record.reason
-                    if len(rejected) < SAMPLE_LIMIT:
-                        rejected.append(record.device_id)
+            with METRICS.span("session.verify"):
+                policy = self._policy()
+                total = ok = edges = dropped = 0
+                reason = ""
+                rejected = []
+                for record in self.verify_stream():
+                    total += 1
+                    edges += record.edges_checked
+                    dropped += record.dropped
+                    if record.ok:
+                        ok += 1
+                    else:
+                        if not reason:
+                            reason = record.reason
+                        if len(rejected) < SAMPLE_LIMIT:
+                            rejected.append(record.device_id)
             self._verify_outcome = VerifyOutcome(
                 scenario=spec.name,
                 workload=spec.workload,

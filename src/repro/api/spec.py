@@ -281,6 +281,10 @@ class FleetSpec:
     (``.db``/``.sqlite`` -> SQLite, anything else -> JSON lines) that
     device records -- lifecycle, versions, nonce high-water marks --
     are persisted to and restored from across process restarts.
+
+    ``events`` does the same for the longitudinal telemetry log (same
+    suffix dispatch); without it the fleet still records events, but
+    only in memory for the life of the process.
     """
 
     size: int = 100
@@ -291,6 +295,7 @@ class FleetSpec:
     verify_traces: bool = False
     run_cycles: int = 2_000
     store: Optional[str] = None
+    events: Optional[str] = None
     rollout: Optional[RolloutSpec] = None
 
     def validate(self, prefix="fleet"):
@@ -304,6 +309,9 @@ class FleetSpec:
         if self.store is not None:
             _require(isinstance(self.store, str) and self.store,
                      f"{prefix}.store", "must be a non-empty path string")
+        if self.events is not None:
+            _require(isinstance(self.events, str) and self.events,
+                     f"{prefix}.events", "must be a non-empty path string")
         if self.rollout is not None:
             self.rollout.validate(f"{prefix}.rollout")
         return self
@@ -318,13 +326,15 @@ class FleetSpec:
             "verify_traces": self.verify_traces,
             "run_cycles": self.run_cycles,
             "store": self.store,
+            "events": self.events,
             "rollout": None if self.rollout is None else self.rollout.to_dict(),
         }
 
     @staticmethod
     def from_dict(data: dict, prefix="fleet") -> "FleetSpec":
         _check_keys(data, ("size", "loss", "reorder", "seed", "max_attempts",
-                           "verify_traces", "run_cycles", "store", "rollout"),
+                           "verify_traces", "run_cycles", "store", "events",
+                           "rollout"),
                     prefix)
         rollout = data.get("rollout")
         return FleetSpec(
@@ -336,6 +346,7 @@ class FleetSpec:
             verify_traces=data.get("verify_traces", False),
             run_cycles=data.get("run_cycles", 2_000),
             store=data.get("store"),
+            events=data.get("events"),
             rollout=None if rollout is None
             else RolloutSpec.from_dict(rollout, f"{prefix}.rollout"),
         )

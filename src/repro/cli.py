@@ -15,13 +15,16 @@ Commands:
   Table IV application and print its run summary.
 * ``attack NAME [--security none|casu|eilid]`` -- run one attack.
 * ``verify`` -- model-check the monitor properties.
-* ``fleet enroll|status|rollout`` -- simulate a verifier managing a
-  population of devices (see :mod:`repro.fleet`).  ``--store PATH``
-  makes the verifier's registry durable across invocations (SQLite or
-  JSON lines by extension); ``rollout --backend process`` shards the
-  campaign across worker processes, and ``rollout --resume`` continues
-  a killed campaign from the store without re-offering applied
-  devices.
+* ``fleet enroll|status|rollout|history`` -- simulate a verifier
+  managing a population of devices (see :mod:`repro.fleet`).
+  ``--store PATH`` makes the verifier's registry durable across
+  invocations (SQLite or JSON lines by extension); ``--events PATH``
+  records the longitudinal telemetry log the same way, and ``fleet
+  history`` replays it (per-device timelines, per-campaign rollups,
+  cross-campaign trends) without building a fleet; ``rollout
+  --backend process`` shards the campaign across worker processes,
+  and ``rollout --resume`` continues a killed campaign from the store
+  without re-offering applied devices.
 * ``cfg build|diff|verify-trace`` -- binary CFG recovery, CFI-policy
   compilation/cross-check, and branch-trace replay
   (see :mod:`repro.cfg`).
@@ -356,6 +359,7 @@ def _fleet_session(args, rollout=None, run_cycles=2_000):
             seed=args.seed,
             run_cycles=run_cycles,
             store=args.store,
+            events=args.events,
             rollout=rollout,
         ),
     ))
@@ -393,10 +397,99 @@ def _cmd_fleet_status(args):
     session.run()
     attest = session.attest()
     if args.json:
-        _print_json(attest.to_dict())
+        # Additive keys on the eilid.attest envelope: the telemetry
+        # aggregate always, the longitudinal per-device rollup when an
+        # event DB is attached (last-seen, quarantine reason, campaign
+        # count -- the questions "which device went dark and why").
+        doc = attest.to_dict()
+        doc["telemetry"] = session.fleet.telemetry.as_dict()
+        if args.events:
+            doc["history"] = session.fleet.events.device_rollup()
+        _print_json(doc)
     else:
         print(session.fleet.status())
     return EXIT_OK if attest.ok else EXIT_SECURITY
+
+
+def _event_line(event: dict) -> str:
+    """One compact human-readable cell for an event's payload."""
+    data = event.get("data") or {}
+    parts = [f"{key}={data[key]}" for key in sorted(data)]
+    return " ".join(parts)[:60]
+
+
+def _cmd_fleet_history(args):
+    import os
+
+    from repro.api import envelope
+    from repro.eval.report import render_table
+    from repro.obs import open_event_log
+
+    path = args.events
+    if not path:
+        raise _UsageError("fleet history needs --events PATH (the event DB "
+                          "a previous invocation recorded to)")
+    if path != ":memory:" and not os.path.exists(path):
+        raise _UsageError(f"no event DB at {path!r}")
+    log = open_event_log(path)
+    try:
+        if args.device:
+            timeline = log.device_timeline(args.device)
+            if args.json:
+                _print_json(envelope("cli.fleet-history", events=path,
+                                     device=args.device, timeline=timeline))
+            else:
+                rows = [(event["seq"], event["kind"],
+                         event["campaign"] or "-", _event_line(event))
+                        for event in timeline]
+                print(render_table(("seq", "event", "campaign", "detail"),
+                                   rows, title=f"timeline of {args.device} "
+                                               f"({len(rows)} events)"))
+        elif args.campaigns:
+            rollup = log.campaign_rollup()
+            if args.json:
+                _print_json(envelope("cli.fleet-history", events=path,
+                                     campaigns=rollup))
+            else:
+                rows = [(entry["campaign"], entry["target_version"],
+                         entry["status"], entry["applied"], entry["failed"],
+                         entry["quarantined"], entry["devices_per_sec"])
+                        for entry in rollup]
+                print(render_table(
+                    ("campaign", "target", "status", "applied", "failed",
+                     "quarantined", "dev/s"), rows,
+                    title=f"{len(rows)} campaigns"))
+        elif args.trends:
+            trends = log.trends()
+            if args.json:
+                _print_json(envelope("cli.fleet-history", events=path,
+                                     trends=trends))
+            else:
+                rows = list(zip(trends["campaigns"],
+                                trends["target_versions"],
+                                trends["devices_per_sec"],
+                                trends["applied"], trends["failed"],
+                                trends["quarantined"]))
+                print(render_table(
+                    ("campaign", "target", "dev/s", "applied", "failed",
+                     "quarantined"), rows, title="cross-campaign trends"))
+        else:
+            rollup = log.device_rollup()
+            if args.json:
+                _print_json(envelope("cli.fleet-history", events=path,
+                                     devices=rollup))
+            else:
+                rows = [(device_id, entry["events"], entry["attests"],
+                         entry["attest_failures"], entry["campaigns"],
+                         entry["quarantine_reason"] or "-")
+                        for device_id, entry in sorted(rollup.items())]
+                print(render_table(
+                    ("device", "events", "attests", "failures", "campaigns",
+                     "quarantine"), rows,
+                    title=f"{len(rows)} devices with history"))
+    finally:
+        log.close()
+    return EXIT_OK
 
 
 def _cmd_fleet_rollout(args):
@@ -534,6 +627,10 @@ def main(argv=None):
                        help="durable registry store; .db/.sqlite -> SQLite, "
                             "anything else -> JSON lines (records persist "
                             "across invocations)")
+        p.add_argument("--events", default=None, metavar="PATH",
+                       help="durable event DB (same suffix dispatch as "
+                            "--store); every enroll/attest/offer/quarantine "
+                            "is logged for fleet history to replay")
         add_json(p)
 
     p_enroll = fleet_sub.add_parser("enroll", help="provision + enroll devices")
@@ -569,6 +666,20 @@ def main(argv=None):
                            help="skip devices whose stored record already "
                                 "shows the target version (needs --store)")
     p_rollout.set_defaults(func=_cmd_fleet_rollout)
+
+    p_history = fleet_sub.add_parser(
+        "history", help="replay recorded fleet telemetry from an event DB")
+    p_history.add_argument("--events", default=None, metavar="PATH",
+                           help="the event DB a previous fleet invocation "
+                                "recorded to (required)")
+    p_history.add_argument("--device", default=None, metavar="ID",
+                           help="print one device's event timeline")
+    p_history.add_argument("--campaigns", action="store_true",
+                           help="print the per-campaign rollup")
+    p_history.add_argument("--trends", action="store_true",
+                           help="print cross-campaign trend series")
+    add_json(p_history)
+    p_history.set_defaults(func=_cmd_fleet_history)
 
     try:
         args = parser.parse_args(argv)

@@ -32,6 +32,7 @@ from repro.cpu.core import StepKind
 from repro.eilid.trusted_sw import AttestationReport, TrustedSoftware
 from repro.errors import UpdateError
 from repro.memory.bus import Bus
+from repro.obs.metrics import METRICS
 from repro.peripherals import (
     Adc,
     Gpio,
@@ -319,9 +320,21 @@ class Device:
         this entry point amortizes the per-step Python overhead (no
         observer or breakpoint hooks, attribute lookups hoisted) while
         keeping the exact monitored-step semantics of :meth:`step`.
+
+        Instrumentation lives at this batch boundary -- one enabled
+        check per call, never inside the step loop -- so the disabled
+        path costs a single attribute lookup and the bench_micro
+        throughput floors hold either way.
         """
-        return self._run_loop(max_cycles, stop_on_done, stop_on_violation,
-                              n, None, None)
+        if not METRICS.enabled:
+            return self._run_loop(max_cycles, stop_on_done,
+                                  stop_on_violation, n, None, None)
+        with METRICS.span("interpreter.batch"):
+            result = self._run_loop(max_cycles, stop_on_done,
+                                    stop_on_violation, n, None, None)
+        METRICS.inc("interpreter.batches")
+        METRICS.inc("interpreter.steps", result.steps)
+        return result
 
     def _run_loop(self, max_cycles, stop_on_done, stop_on_violation,
                   max_steps, break_at, observer):

@@ -47,6 +47,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.casu.update import UpdatePackage, UpdateStatus
 from repro.eval.report import render_table
 from repro.fleet.registry import DeviceRecord, FleetRegistry, Lifecycle
+from repro.obs.metrics import METRICS
 
 CAMPAIGN_BACKENDS = ("thread", "process")
 
@@ -218,6 +219,11 @@ class RolloutCampaign:
         # backend attests the *updated* device image, not a stale
         # parent replica (which would roll merged records back).
         self.post_wave_merge = post_wave_merge
+        # Event-log campaign tag: minted from the registry's event log
+        # at run() start; every offer/wave/quarantine event this
+        # campaign produces carries it, which is what makes the
+        # per-campaign rollups in `fleet history` possible.
+        self._campaign_id: Optional[str] = None
         if self.config.backend == "process" and shard_task is None:
             raise ValueError(
                 "backend='process' needs a shard_task; drive the campaign "
@@ -254,18 +260,24 @@ class RolloutCampaign:
             resumed = len(ids) - len(fresh)
             ids = fresh
         backend = self.config.backend
+        events = self.registry.events
         started = time.perf_counter()
         if not ids:
             return CampaignReport(CampaignStatus.EMPTY, self.target_version,
                                   [], 0, 0, 0, 0.0, resumed=resumed,
                                   backend=backend)
+        if events is not None:
+            self._campaign_id = events.start_campaign(
+                target_version=self.target_version, backend=backend,
+                planned=len(ids), resumed=resumed)
         waves = self.plan_waves(ids)
         results: List[WaveResult] = []
         applied = failed = offered = 0
         status, halt_reason = CampaignStatus.COMPLETE, ""
         pool_cls = (ProcessPoolExecutor if backend == "process"
                     else ThreadPoolExecutor)
-        with pool_cls(max_workers=self.config.effective_workers) as pool:
+        with METRICS.span("campaign.run"), \
+                pool_cls(max_workers=self.config.effective_workers) as pool:
             for index, wave in enumerate(waves, start=1):
                 wave_result = self._run_wave(index, wave, pool)
                 results.append(wave_result)
@@ -278,7 +290,7 @@ class RolloutCampaign:
                         f"wave {index} failure {100 * wave_result.failure_fraction:.1f}% "
                         f"> threshold {100 * self.config.failure_threshold:.1f}%")
                     break
-        return CampaignReport(
+        report = CampaignReport(
             status=status,
             target_version=self.target_version,
             waves=results,
@@ -290,8 +302,22 @@ class RolloutCampaign:
             resumed=resumed,
             backend=backend,
         )
+        if events is not None:
+            events.emit(
+                "campaign-end", campaign=self._campaign_id,
+                status=report.status.value, applied=report.applied,
+                failed=report.failed, skipped=report.skipped,
+                resumed=report.resumed, halt_reason=report.halt_reason,
+                elapsed_s=round(report.elapsed_s, 6),
+                devices_per_sec=round(report.devices_per_sec, 1))
+            events.flush()
+        return report
 
     def _run_wave(self, index: int, wave: List[str], pool) -> WaveResult:
+        with METRICS.span("campaign.wave"):
+            return self._run_wave_inner(index, wave, pool)
+
+    def _run_wave_inner(self, index: int, wave: List[str], pool) -> WaveResult:
         # Mark the wave in flight, remembering each device's prior
         # state so a failed offer rolls back to what the device
         # actually was (ENROLLED devices must not surface as ACTIVE
@@ -336,6 +362,14 @@ class RolloutCampaign:
             self.post_wave_merge()
         if self.config.verify_after_wave:
             self._verify_wave(result, outcomes)
+        # The wave-commit event rides the same durability point as the
+        # records it describes: emitted before the flush, so either
+        # both survive a kill or neither does.
+        if self.registry.events is not None:
+            self.registry.events.emit(
+                "wave-commit", campaign=self._campaign_id, index=index,
+                size=result.size, applied=result.applied,
+                failed=result.failed, statuses=dict(result.statuses))
         # Durability point: a kill after this flush resumes from here.
         self.registry.flush()
         return result
@@ -356,6 +390,14 @@ class RolloutCampaign:
         # survives the merge exactly like a thread-backend session
         # writing the shared record directly.
         if doc["state"] == Lifecycle.QUARANTINED.value:
+            # Worker sessions have no event log; the parent logs the
+            # verdict on merge (only the transition, once).
+            if (record.state is not Lifecycle.QUARANTINED
+                    and self.registry.events is not None):
+                self.registry.events.emit(
+                    "quarantine", device=record.device_id,
+                    campaign=self._campaign_id,
+                    reason=doc.get("detail") or "worker-verdict")
             record.state = Lifecycle.QUARANTINED
         status = UpdateStatus(doc["status"]) if doc["status"] else None
         if status is UpdateStatus.APPLIED:
@@ -379,7 +421,9 @@ class RolloutCampaign:
         for outcome in outcomes:
             if not outcome.applied:
                 continue
-            attest = self.session_factory(outcome.device_id).attest()
+            session = self.session_factory(outcome.device_id)
+            session.campaign = self._campaign_id
+            attest = session.attest()
             # The attest consumed a nonce (and may have quarantined);
             # persist before the wave's durability flush.
             self.registry.save(self.registry.get(outcome.device_id))
@@ -395,6 +439,7 @@ class RolloutCampaign:
         for device_id in batch:
             record = self.registry.get(device_id)
             session = self.session_factory(device_id)
+            session.campaign = self._campaign_id
             package = self.package_factory(record)
             offer = session.offer_update(package)
             outcomes.append(DeviceOutcome(device_id, offer.status,
@@ -405,6 +450,13 @@ class RolloutCampaign:
                        prior: Optional[Lifecycle] = None):
         """Fold one device's result back into the registry (main thread)."""
         record = self.registry.get(outcome.device_id)
+        events = self.registry.events
+        if events is not None:
+            events.emit("offer", device=outcome.device_id,
+                        campaign=self._campaign_id,
+                        status=outcome.status_label,
+                        attempts=outcome.attempts,
+                        version=self.target_version)
         if outcome.applied:
             record.state = Lifecycle.ACTIVE
         else:
@@ -416,6 +468,14 @@ class RolloutCampaign:
                 # (forged ack MAC, replayed capture -- its verdict is
                 # on the record in both backends): the package or the
                 # link is compromised, hands off.
+                if (record.state is not Lifecycle.QUARANTINED
+                        and events is not None):
+                    # Session- and merge-detected verdicts were already
+                    # logged at detection; this covers the device-side
+                    # BAD_MAC rejection, which only the engine sees.
+                    events.emit("quarantine", device=outcome.device_id,
+                                campaign=self._campaign_id,
+                                reason=outcome.status_label)
                 record.state = Lifecycle.QUARANTINED
             else:
                 # Roll the UPDATING mark back to the pre-wave state;

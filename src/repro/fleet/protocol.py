@@ -41,6 +41,7 @@ from typing import List, Optional, Tuple
 from repro.casu.update import UpdateKey, UpdatePackage, UpdateStatus
 from repro.eilid.trusted_sw import AttestationReport
 from repro.fleet.registry import DeviceRecord, Lifecycle
+from repro.fleet.telemetry import parse_violation_totals
 from repro.fleet.transport import Link
 
 VERIFIER_ID = "verifier"
@@ -213,7 +214,7 @@ class VerifierSession:
     """
 
     def __init__(self, record: DeviceRecord, agent: DeviceAgent, link: Link,
-                 telemetry=None, max_attempts=4, policy=None):
+                 telemetry=None, max_attempts=4, policy=None, events=None):
         self.record = record
         self.agent = agent
         self.link = link
@@ -222,6 +223,12 @@ class VerifierSession:
         # Optional repro.cfg.CfiPolicy: when set, attest() additionally
         # authenticates and replays the device's branch trace.
         self.policy = policy
+        # Optional repro.obs.events.EventLog: attest outcomes and
+        # session-detected quarantines land in the fleet's longitudinal
+        # record.  `campaign` tags them when a campaign drives this
+        # session (the engine stamps it per batch).
+        self.events = events
+        self.campaign: Optional[str] = None
         # Replies from _exchange whose nonce predates the current
         # challenge; one that authenticates is a replayed capture.
         self._stale_replies: List[object] = []
@@ -280,6 +287,13 @@ class VerifierSession:
                 continue  # malformed injection; not even a valid capture
         return False
 
+    def _quarantine(self, reason: str):
+        """Flip the record to QUARANTINED and log the verdict."""
+        self.record.state = Lifecycle.QUARANTINED
+        if self.events is not None:
+            self.events.emit("quarantine", device=self.record.device_id,
+                             campaign=self.campaign, reason=reason)
+
     # ---- exchanges -------------------------------------------------------
 
     def enroll(self) -> AttestResult:
@@ -290,11 +304,11 @@ class VerifierSession:
         if reply is None:
             if self._replay_detected(
                     lambda body: body.verify(self.record.key, b"enroll")):
-                self.record.state = Lifecycle.QUARANTINED
+                self._quarantine("replay")
                 return AttestResult(False, "replay", attempts=attempts)
             return AttestResult(False, "unreachable", attempts=attempts)
         if not reply.verify(self.record.key, b"enroll"):
-            self.record.state = Lifecycle.QUARANTINED
+            self._quarantine("bad-mac")
             return AttestResult(False, "bad-mac", attempts=attempts)
         self.record.firmware_hash = reply.report.firmware_hash
         self.record.firmware_version = reply.report.firmware_version
@@ -309,38 +323,47 @@ class VerifierSession:
         if reply is None:
             if self._replay_detected(
                     lambda body: body.verify(self.record.key, b"attest")):
-                self.record.state = Lifecycle.QUARANTINED
+                self._quarantine("replay")
                 result = AttestResult(False, "replay", attempts=attempts)
             else:
                 result = AttestResult(False, "unreachable", attempts=attempts)
             self._note_attest(result)
             return result
         if not reply.verify(self.record.key, b"attest"):
-            self.record.state = Lifecycle.QUARANTINED
+            self._quarantine("bad-mac")
             result = AttestResult(False, "bad-mac", attempts=attempts)
-            self._note_attest(result)
-            return result
-        trace_problem = self._check_trace(reply)
-        if trace_problem is not None:
-            self.record.state = Lifecycle.QUARANTINED
-            result = AttestResult(False, trace_problem, reply.report, attempts)
             self._note_attest(result)
             return result
         report = reply.report
         record = self.record
+        # Every MAC-verified report refreshes the persisted telemetry
+        # baselines (cumulative violation totals, reset counter): the
+        # fold in _note_attest consumes the same report even when a
+        # later check quarantines, and a restarted verifier must seed
+        # exactly the baseline the fold advanced to (see
+        # FleetTelemetry.seed_baseline).
+        record.violation_totals, _ = parse_violation_totals(
+            report.violation_totals)
+        record.reset_count = report.reset_count
+        trace_problem = self._check_trace(reply)
+        if trace_problem is not None:
+            self._quarantine(trace_problem)
+            result = AttestResult(False, trace_problem, reply.report, attempts)
+            self._note_attest(result)
+            return result
         if record.last_seen is not None and report.cycle < record.last_seen:
             # The device's logical clock only ever advances (resets
             # included), so a verified report from its past is captured
             # evidence being served back -- quarantine, never roll
             # last_seen backwards.
-            record.state = Lifecycle.QUARANTINED
+            self._quarantine("stale-report")
             result = AttestResult(False, "stale-report", report, attempts)
             self._note_attest(result)
             return result
         if (record.firmware_hash is not None
                 and report.firmware_version == record.firmware_version
                 and report.firmware_hash != record.firmware_hash):
-            record.state = Lifecycle.QUARANTINED
+            self._quarantine("hash-mismatch")
             result = AttestResult(False, "hash-mismatch", report, attempts)
             self._note_attest(result)
             return result
@@ -349,7 +372,6 @@ class VerifierSession:
         record.observe_cycle(report.cycle)
         record.attest_count += 1
         record.violation_count = report.violation_count
-        record.reset_count = report.reset_count
         if record.state in (Lifecycle.ENROLLED, Lifecycle.UPDATING):
             record.state = Lifecycle.ACTIVE
         result = AttestResult(True, report=report, attempts=attempts)
@@ -406,7 +428,7 @@ class VerifierSession:
         if reply is None:
             if self._replay_detected(
                     lambda body: body.verify(self.record.key)):
-                self.record.state = Lifecycle.QUARANTINED
+                self._quarantine("replay")
                 return OfferResult(None, attempts, "replay")
             return OfferResult(None, attempts, "unreachable")
         if not reply.verify(self.record.key):
@@ -414,7 +436,7 @@ class VerifierSession:
             # evidence of an attacker on the link, not of a device
             # that never answered -- quarantine instead of retrying
             # into the attacker's hands.
-            self.record.state = Lifecycle.QUARANTINED
+            self._quarantine("bad-ack-mac")
             return OfferResult(None, attempts, "bad-ack-mac")
         status = reply.status
         if (status is UpdateStatus.STALE_VERSION
@@ -438,3 +460,11 @@ class VerifierSession:
     def _note_attest(self, result: AttestResult):
         if self.telemetry is not None:
             self.telemetry.record_attest(self.record.device_id, result)
+        if self.events is not None:
+            report = result.report
+            self.events.emit(
+                "attest", device=self.record.device_id,
+                campaign=self.campaign, ok=result.ok,
+                detail=result.detail, attempts=result.attempts,
+                firmware_version=None if report is None
+                else report.firmware_version)

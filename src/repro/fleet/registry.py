@@ -82,6 +82,12 @@ class DeviceRecord:
     # every step; replaying this sequence is what lets a restored
     # replica hash identically to the real device.
     applied_versions: List[int] = field(default_factory=list)
+    # Cumulative per-reason violation totals from the last accepted
+    # report.  Persisting them lets a restarted verifier seed its
+    # telemetry baselines (FleetTelemetry._seen) from the store, so
+    # the first post-restart heartbeat folds only *new* violations
+    # instead of re-counting the device's whole history.
+    violation_totals: Dict[str, int] = field(default_factory=dict)
 
     @property
     def enrolled_ok(self) -> bool:
@@ -127,10 +133,15 @@ class FleetRegistry:
     explicit :meth:`save`.
     """
 
-    def __init__(self, store=None):
+    def __init__(self, store=None, events=None):
         self._records: Dict[str, DeviceRecord] = {}
         self.clock = 0  # logical time, bumped by tick()
         self._store = store
+        # Optional repro.obs.events.EventLog (duck typed, like the
+        # store).  The registry is the layer whose flush() defines the
+        # fleet's durability points, so it co-flushes the event log:
+        # anything emitted before a registry flush survives a kill.
+        self.events = events
         self.meta: Dict[str, object] = {}
         if store is not None:
             from repro.fleet.store import record_from_dict
@@ -176,11 +187,17 @@ class FleetRegistry:
             self.save(record)
 
     def flush(self):
-        """Persist meta + commit: everything saved so far is durable."""
+        """Persist meta + commit: everything saved so far is durable.
+
+        The event log shares the durability point: events emitted up
+        to here survive exactly when the records they describe do.
+        """
         if self._store is not None:
             self.meta["clock"] = self.clock
             self._store.save_meta(self.meta)
             self._store.flush()
+        if self.events is not None:
+            self.events.flush()
 
     # ---- enrollment ------------------------------------------------------
 
@@ -199,6 +216,9 @@ class FleetRegistry:
         )
         self._records[device_id] = record
         self.save(record)
+        if self.events is not None:
+            self.events.emit("enroll", device=device_id,
+                             platform=platform, security=security)
         return record
 
     # ---- lookup ----------------------------------------------------------
@@ -229,10 +249,12 @@ class FleetRegistry:
 
     # ---- state transitions ----------------------------------------------
 
-    def quarantine(self, device_id: str):
+    def quarantine(self, device_id: str, reason: str = "operator"):
         record = self.get(device_id)
         record.state = Lifecycle.QUARANTINED
         self.save(record)
+        if self.events is not None:
+            self.events.emit("quarantine", device=device_id, reason=reason)
 
     def retire(self, device_id: str):
         record = self.get(device_id)

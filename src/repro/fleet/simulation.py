@@ -52,6 +52,7 @@ from repro.fleet.store import (
 )
 from repro.fleet.telemetry import FleetTelemetry
 from repro.fleet.transport import Transport
+from repro.obs.events import MemoryEventLog, open_event_log
 
 # A fleet node's firmware: report a reading, signal DONE, idle.
 FLEET_APP = """
@@ -92,7 +93,7 @@ class FleetSimulation:
     def __init__(self, size=0, security="casu", platform="TI MSP430",
                  loss=0.0, reorder=0.0, seed=0, max_attempts=4,
                  verify_traces=False, firmware: Optional[FirmwareSpec] = None,
-                 store=None):
+                 store=None, events=None):
         if size < 0:
             raise ValueError("fleet size must be >= 0")
         self.security = security
@@ -114,9 +115,18 @@ class FleetSimulation:
         # open_store; records found in it are restored, not re-enrolled.
         if isinstance(store, str):
             store = open_store(store)
-        self.registry = FleetRegistry(store=store)
+        # The longitudinal event log: observability is on by default at
+        # the fleet layer (an in-memory log costs one dict append per
+        # operational fact); a path makes it durable alongside the
+        # store, flushed at the same registry durability points.
+        if isinstance(events, str):
+            events = open_event_log(events)
+        elif events is None:
+            events = MemoryEventLog()
+        self.events = events
+        self.registry = FleetRegistry(store=store, events=events)
         self.transport = Transport(loss=loss, reorder=reorder, seed=seed)
-        self.telemetry = FleetTelemetry()
+        self.telemetry = FleetTelemetry(events=events)
         self.devices: Dict[str, Device] = {}
         self.agents: Dict[str, DeviceAgent] = {}
         self._sessions: Dict[str, VerifierSession] = {}
@@ -195,6 +205,13 @@ class FleetSimulation:
         self.devices[record.device_id] = device
         self.agents[record.device_id] = DeviceAgent(record.device_id, device,
                                                     link)
+        # Telemetry deltas must not re-count the device's pre-restart
+        # history: its reports carry cumulative totals, so seed the
+        # baseline from the durable record (the last accepted report's
+        # totals) before the first post-restore heartbeat folds.
+        self.telemetry.seed_baseline(record.device_id,
+                                     record.violation_totals,
+                                     record.reset_count)
 
     # ---- verifier plumbing -----------------------------------------------
 
@@ -217,7 +234,8 @@ class FleetSimulation:
                 self.registry.get(device_id), self.agents[device_id],
                 self.transport.link(device_id), telemetry=self.telemetry,
                 max_attempts=self.max_attempts,
-                policy=self.policy if self.verify_traces else None)
+                policy=self.policy if self.verify_traces else None,
+                events=self.registry.events)
             self._sessions[device_id] = session
         return session
 

@@ -64,6 +64,7 @@ def record_to_dict(record: DeviceRecord) -> dict:
         "update_failures": record.update_failures,
         "nonce_high_water": record.nonce_high_water,
         "applied_versions": list(record.applied_versions),
+        "violation_totals": dict(record.violation_totals),
     }
 
 
@@ -85,6 +86,7 @@ def record_from_dict(doc: dict) -> DeviceRecord:
             update_failures=doc.get("update_failures", 0),
             nonce_high_water=doc.get("nonce_high_water", 0),
             applied_versions=list(doc.get("applied_versions", ())),
+            violation_totals=dict(doc.get("violation_totals", {})),
         )
     except (KeyError, ValueError) as error:
         raise FleetError(f"malformed stored device record: {error}") from None
@@ -164,15 +166,21 @@ class JsonlStore(RegistryStore):
     Every ``save_record`` appends one ``{"kind": "record", ...}`` line;
     ``save_meta`` appends a ``{"kind": "meta", ...}`` line.  A crash can
     only tear the final line, which load() skips, so the store is as
-    durable as its last flushed write.  ``compact()`` (run on close)
-    rewrites the file to one line per live document.
+    durable as its last flushed write.  ``compact()`` rewrites the
+    file to one line per live document; it runs on close, at open, and
+    live -- mid-session, whenever redundancy crosses
+    ``COMPACT_FACTOR`` -- so a verifier that re-saves its records every
+    wave for weeks never grows an unbounded log.
     """
 
     backend = "jsonl"
 
-    # Compact at open when the log holds this many times more lines
-    # than live documents -- long-lived append-only verifiers (cron
-    # heartbeats) rarely close cleanly, so open is the reliable hook.
+    # Compact when the log holds this many times more lines than live
+    # documents.  Checked at open (long-lived append-only verifiers --
+    # cron heartbeats -- rarely close cleanly, so open is the reliable
+    # hook) AND after every append, so a long-running session (many
+    # campaigns over one open store) keeps its log bounded instead of
+    # growing until the next restart.
     COMPACT_FACTOR = 4
 
     def __init__(self, path: str):
@@ -182,9 +190,12 @@ class JsonlStore(RegistryStore):
         self._lock = threading.Lock()
         self._records, self._meta, self._lines = self._load_file()
         self._file = open(path, "a", encoding="utf-8")
-        live = len(self._records) + (1 if self._meta else 0)
-        if self._lines > max(64, self.COMPACT_FACTOR * live):
+        if self._over_threshold():
             self.compact()
+
+    def _over_threshold(self) -> bool:
+        live = len(self._records) + (1 if self._meta else 0)
+        return self._lines > max(64, self.COMPACT_FACTOR * live)
 
     def _load_file(self):
         records: Dict[str, dict] = {}
@@ -226,6 +237,12 @@ class JsonlStore(RegistryStore):
             # loses nothing (only power loss needs the fsync that
             # flush() adds).  Nonce high-water saves rely on this.
             self._file.flush()
+            # Live compaction: a long-running verifier re-saves the
+            # same records every sweep/wave; once redundancy crosses
+            # the threshold, rewrite in place instead of waiting for a
+            # close/reopen that may never come.
+            if self._over_threshold():
+                self._compact_locked()
 
     def load_meta(self) -> dict:
         with self._lock:
@@ -235,6 +252,8 @@ class JsonlStore(RegistryStore):
         with self._lock:
             self._meta = json.loads(json.dumps(meta))
             self._append({"kind": "meta", **self._meta})
+            if self._over_threshold():
+                self._compact_locked()
 
     def flush(self):
         with self._lock:
@@ -252,22 +271,25 @@ class JsonlStore(RegistryStore):
         never a truncated registry (the records ARE the device keys).
         """
         with self._lock:
-            if self._file.closed:
-                return
-            self._file.close()
-            temp_path = self.path + ".compact"
-            with open(temp_path, "w", encoding="utf-8") as handle:
-                if self._meta:
-                    handle.write(json.dumps(
-                        {"kind": "meta", **self._meta}, sort_keys=True) + "\n")
-                for doc in self._records.values():
-                    handle.write(json.dumps(
-                        {"kind": "record", **doc}, sort_keys=True) + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(temp_path, self.path)
-            self._lines = len(self._records) + (1 if self._meta else 0)
-            self._file = open(self.path, "a", encoding="utf-8")
+            self._compact_locked()
+
+    def _compact_locked(self):
+        if self._file.closed:
+            return
+        self._file.close()
+        temp_path = self.path + ".compact"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            if self._meta:
+                handle.write(json.dumps(
+                    {"kind": "meta", **self._meta}, sort_keys=True) + "\n")
+            for doc in self._records.values():
+                handle.write(json.dumps(
+                    {"kind": "record", **doc}, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, self.path)
+        self._lines = len(self._records) + (1 if self._meta else 0)
+        self._file = open(self.path, "a", encoding="utf-8")
 
     def close(self):
         if self._file.closed:

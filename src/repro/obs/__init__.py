@@ -1,0 +1,37 @@
+"""Observability: the event-log telemetry DB and the metrics layer.
+
+Two halves, both consumed by the fleet stack and the scenario API:
+
+* :mod:`repro.obs.events`  -- the append-only event log (memory /
+  JSONL / SQLite behind ``open_event_log``) that registry, protocol
+  and campaign layers write their operational facts to, and that
+  ``fleet history`` replays into timelines, rollups and trends.
+* :mod:`repro.obs.metrics` -- the process-global
+  :class:`MetricsRegistry` of counters/gauges/histograms plus
+  context-manager spans, with a near-zero disabled path.
+"""
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    EventLog,
+    JsonlEventLog,
+    MemoryEventLog,
+    ObsError,
+    SqliteEventLog,
+    open_event_log,
+)
+from repro.obs.metrics import METRICS, Histogram, MetricsRegistry, get_metrics
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventLog",
+    "Histogram",
+    "JsonlEventLog",
+    "METRICS",
+    "MemoryEventLog",
+    "MetricsRegistry",
+    "ObsError",
+    "SqliteEventLog",
+    "get_metrics",
+    "open_event_log",
+]

@@ -1,0 +1,456 @@
+"""Append-only event log: the fleet's longitudinal memory.
+
+The registry, protocol and campaign layers emit one document per
+operational fact -- a device enrolled, a heartbeat verified, a device
+quarantined, an offer answered, a wave committed, a campaign started
+or ended, a violation delta folded -- and the log replays them later:
+per-device timelines, per-campaign rollups, cross-campaign trends.
+One-shot aggregates (``FleetTelemetry``) answer "what happened this
+process"; the event log answers "what happened to this fleet, ever".
+
+Event documents are flat and JSON-safe::
+
+    {"seq": 17, "ts": 1754556000.0, "kind": "attest",
+     "device": "dev-00003", "campaign": null, "data": {...}}
+
+``seq`` is a per-log monotonic counter (the replay order), ``ts`` is
+wall-clock, ``campaign`` tags events belonging to one rollout
+(campaign ids are minted by :meth:`EventLog.start_campaign`).
+
+Three backends, one contract, mirroring ``fleet/store.py``:
+
+* :class:`MemoryEventLog` -- a list; the default, zero I/O.
+* :class:`JsonlEventLog`  -- one appended JSON line per event; loads
+  tolerate a torn final line.
+* :class:`SqliteEventLog` -- one indexed table, inserts batched until
+  ``flush()`` commits.
+
+``open_event_log(path)`` picks the backend exactly like
+``open_store``: ``None``/``":memory:"`` -> memory, ``.db``/
+``.sqlite``/``.sqlite3`` -> SQLite, anything else -> JSON lines.
+
+Durability rides the registry's: :meth:`~repro.fleet.registry.
+FleetRegistry.flush` flushes its event log in the same call, so every
+registry durability point (per attest sweep, per campaign wave) is an
+event-log durability point too.
+"""
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ReproError
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventLog",
+    "JsonlEventLog",
+    "MemoryEventLog",
+    "ObsError",
+    "SqliteEventLog",
+    "open_event_log",
+]
+
+
+class ObsError(ReproError):
+    """Event-log / metrics-layer failure."""
+
+
+# The closed vocabulary of operational facts.  A closed set keeps the
+# queries honest: a rollup can enumerate what it folds, and a typo'd
+# kind fails at emit time instead of vanishing from every timeline.
+EVENT_KINDS = (
+    "enroll",
+    "attest",
+    "quarantine",
+    "offer",
+    "wave-commit",
+    "campaign-start",
+    "campaign-end",
+    "violation-delta",
+)
+
+
+class EventLog:
+    """Backend contract + the query layer shared by every backend.
+
+    Subclasses implement ``_append`` (store one document), ``_loaded``
+    (the documents found at open, for seq recovery) and optionally
+    override :meth:`events` with an indexed scan.  ``flush()`` must be
+    a durability point: every event emitted before it survives a kill
+    after it.
+    """
+
+    backend = "abstract"
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    # ---- emission --------------------------------------------------------
+
+    def emit(self, kind: str, device: Optional[str] = None,
+             campaign: Optional[str] = None, **data) -> dict:
+        """Append one event; returns the stored document."""
+        if kind not in EVENT_KINDS:
+            raise ObsError(f"unknown event kind {kind!r}; "
+                           f"one of {', '.join(EVENT_KINDS)}")
+        with self._lock:
+            self._seq += 1
+            doc = {"seq": self._seq, "ts": time.time(), "kind": kind,
+                   "device": device, "campaign": campaign, "data": data}
+            self._append(doc)
+        return doc
+
+    def start_campaign(self, **data) -> str:
+        """Mint a campaign id and emit its ``campaign-start`` event.
+
+        Ids are derived from the start event's own sequence number
+        (``c<seq>``), so they are unique per log and sort in start
+        order across process restarts without any extra state.
+        """
+        with self._lock:
+            self._seq += 1
+            campaign_id = f"c{self._seq}"
+            doc = {"seq": self._seq, "ts": time.time(),
+                   "kind": "campaign-start", "device": None,
+                   "campaign": campaign_id, "data": data}
+            self._append(doc)
+        return campaign_id
+
+    def _append(self, doc: dict):
+        raise NotImplementedError
+
+    # ---- lifecycle -------------------------------------------------------
+
+    def flush(self):
+        pass
+
+    def close(self):
+        self.flush()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # ---- scanning --------------------------------------------------------
+
+    def events(self, kind: Optional[str] = None, device: Optional[str] = None,
+               campaign: Optional[str] = None,
+               since: Optional[int] = None) -> List[dict]:
+        """Every matching event in seq order (filters are ANDed)."""
+        return [dict(doc) for doc in self._scan()
+                if (kind is None or doc["kind"] == kind)
+                and (device is None or doc["device"] == device)
+                and (campaign is None or doc["campaign"] == campaign)
+                and (since is None or doc["seq"] > since)]
+
+    def _scan(self) -> Iterable[dict]:
+        raise NotImplementedError
+
+    def __len__(self):
+        return len(self.events())
+
+    # ---- queries ---------------------------------------------------------
+
+    def device_timeline(self, device_id: str) -> List[dict]:
+        """Every event about one device, oldest first."""
+        return self.events(device=device_id)
+
+    def device_rollup(self) -> Dict[str, dict]:
+        """Per-device triage summary folded from the whole log.
+
+        ``last_seen_ts`` is the newest event about the device,
+        ``quarantine_reason`` the most recent quarantine's reason (None
+        for healthy devices), ``campaigns`` the number of distinct
+        campaigns that offered to it -- the exit-code-2 triage view,
+        answerable without re-running any attestation.
+        """
+        rollup: Dict[str, dict] = {}
+        for doc in self._scan():
+            device_id = doc["device"]
+            if device_id is None:
+                continue
+            entry = rollup.get(device_id)
+            if entry is None:
+                entry = rollup[device_id] = {
+                    "first_seen_ts": doc["ts"],
+                    "last_seen_ts": doc["ts"],
+                    "last_seen_seq": doc["seq"],
+                    "events": 0,
+                    "attests": 0,
+                    "attest_failures": 0,
+                    "offers": 0,
+                    "campaigns": 0,
+                    "quarantine_reason": None,
+                    "violations": 0,
+                    "_campaigns": set(),
+                }
+            entry["events"] += 1
+            entry["last_seen_ts"] = doc["ts"]
+            entry["last_seen_seq"] = doc["seq"]
+            kind = doc["kind"]
+            data = doc["data"]
+            if kind == "attest":
+                entry["attests"] += 1
+                if not data.get("ok", False):
+                    entry["attest_failures"] += 1
+            elif kind == "offer":
+                entry["offers"] += 1
+                if doc["campaign"] is not None:
+                    entry["_campaigns"].add(doc["campaign"])
+            elif kind == "quarantine":
+                entry["quarantine_reason"] = data.get("reason", "")
+            elif kind == "violation-delta":
+                entry["violations"] += sum(
+                    count for count in data.get("deltas", {}).values())
+        for entry in rollup.values():
+            entry["campaigns"] = len(entry.pop("_campaigns"))
+        return rollup
+
+    def campaign_rollup(self) -> List[dict]:
+        """One summary per campaign, in start order.
+
+        Folds the campaign's start/end bracket, its offer outcomes by
+        status label, its wave commits, and every quarantine tagged
+        with its id (incl. the per-reason breakdown the security triage
+        wants).
+        """
+        campaigns: Dict[str, dict] = {}
+        for doc in self._scan():
+            campaign_id = doc["campaign"]
+            if campaign_id is None:
+                continue
+            entry = campaigns.get(campaign_id)
+            if entry is None:
+                entry = campaigns[campaign_id] = {
+                    "campaign": campaign_id,
+                    "target_version": None,
+                    "backend": None,
+                    "started_ts": None,
+                    "ended_ts": None,
+                    "status": None,
+                    "offers": {},
+                    "applied": 0,
+                    "failed": 0,
+                    "skipped": 0,
+                    "resumed": 0,
+                    "waves": 0,
+                    "quarantined": 0,
+                    "quarantine_reasons": {},
+                    "devices_per_sec": None,
+                    "elapsed_s": None,
+                }
+            kind = doc["kind"]
+            data = doc["data"]
+            if kind == "campaign-start":
+                entry["started_ts"] = doc["ts"]
+                entry["target_version"] = data.get("target_version")
+                entry["backend"] = data.get("backend")
+            elif kind == "campaign-end":
+                entry["ended_ts"] = doc["ts"]
+                entry["status"] = data.get("status")
+                entry["applied"] = data.get("applied", 0)
+                entry["failed"] = data.get("failed", 0)
+                entry["skipped"] = data.get("skipped", 0)
+                entry["resumed"] = data.get("resumed", 0)
+                entry["devices_per_sec"] = data.get("devices_per_sec")
+                entry["elapsed_s"] = data.get("elapsed_s")
+            elif kind == "offer":
+                label = data.get("status", "unreachable")
+                entry["offers"][label] = entry["offers"].get(label, 0) + 1
+            elif kind == "wave-commit":
+                entry["waves"] += 1
+            elif kind == "quarantine":
+                entry["quarantined"] += 1
+                reason = data.get("reason", "")
+                reasons = entry["quarantine_reasons"]
+                reasons[reason] = reasons.get(reason, 0) + 1
+        return sorted(campaigns.values(),
+                      key=lambda entry: int(entry["campaign"][1:]))
+
+    def trends(self) -> dict:
+        """Cross-campaign series (one entry per campaign, start order)."""
+        rollups = self.campaign_rollup()
+        return {
+            "campaigns": [entry["campaign"] for entry in rollups],
+            "target_versions": [entry["target_version"] for entry in rollups],
+            "devices_per_sec": [entry["devices_per_sec"] for entry in rollups],
+            "applied": [entry["applied"] for entry in rollups],
+            "failed": [entry["failed"] for entry in rollups],
+            "quarantined": [entry["quarantined"] for entry in rollups],
+        }
+
+
+class MemoryEventLog(EventLog):
+    """List-backed log: the in-process default, zero I/O."""
+
+    backend = "memory"
+
+    def __init__(self):
+        super().__init__()
+        self._events: List[dict] = []
+
+    def _append(self, doc: dict):
+        self._events.append(doc)
+
+    def _scan(self):
+        return self._events
+
+
+class JsonlEventLog(EventLog):
+    """One JSON line per event; a torn final line is skipped on load.
+
+    The log is append-only by nature (events never rewrite), so unlike
+    the registry's JsonlStore there is nothing to compact -- growth is
+    the point.  Writes push to the kernel immediately; ``flush()``
+    adds the fsync that makes a durability point.
+    """
+
+    backend = "jsonl"
+
+    def __init__(self, path: str):
+        super().__init__()
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._events = self._load_file()
+        if self._events:
+            self._seq = self._events[-1]["seq"]
+        self._file = open(path, "a", encoding="utf-8")
+
+    def _load_file(self) -> List[dict]:
+        events: List[dict] = []
+        if not os.path.exists(self.path):
+            return events
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail from a kill mid-append
+                if isinstance(doc, dict) and "seq" in doc:
+                    events.append(doc)
+        return events
+
+    def _append(self, doc: dict):
+        self._events.append(doc)
+        self._file.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def _scan(self):
+        return self._events
+
+    def flush(self):
+        with self._lock:
+            if self._file.closed:
+                return
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def close(self):
+        if self._file.closed:
+            return
+        self.flush()
+        self._file.close()
+
+
+class SqliteEventLog(EventLog):
+    """SQLite-backed log: inserts batched until ``flush()`` commits.
+
+    The scale backend: events stay on disk, not in a Python list, and
+    :meth:`events` filters with indexed SQL.  The uncommitted window
+    matches the registry's (campaigns flush both per wave).
+    """
+
+    backend = "sqlite"
+
+    def __init__(self, path: str):
+        super().__init__()
+        self.path = path
+        if path != ":memory:":
+            directory = os.path.dirname(os.path.abspath(path))
+            os.makedirs(directory, exist_ok=True)
+        self._closed = False
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        with self._conn:  # schema setup commits immediately
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS events ("
+                " seq INTEGER PRIMARY KEY, ts REAL NOT NULL,"
+                " kind TEXT NOT NULL, device TEXT, campaign TEXT,"
+                " doc TEXT NOT NULL)")
+            self._conn.execute(
+                "CREATE INDEX IF NOT EXISTS events_device"
+                " ON events (device)")
+            self._conn.execute(
+                "CREATE INDEX IF NOT EXISTS events_campaign"
+                " ON events (campaign)")
+        row = self._conn.execute("SELECT MAX(seq) FROM events").fetchone()
+        self._seq = int(row[0]) if row and row[0] is not None else 0
+
+    def _append(self, doc: dict):
+        self._conn.execute(
+            "INSERT INTO events (seq, ts, kind, device, campaign, doc)"
+            " VALUES (?, ?, ?, ?, ?, ?)",
+            (doc["seq"], doc["ts"], doc["kind"], doc["device"],
+             doc["campaign"], json.dumps(doc, sort_keys=True)))
+
+    def events(self, kind: Optional[str] = None, device: Optional[str] = None,
+               campaign: Optional[str] = None,
+               since: Optional[int] = None) -> List[dict]:
+        clauses, params = [], []
+        for column, value in (("kind", kind), ("device", device),
+                              ("campaign", campaign)):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        if since is not None:
+            clauses.append("seq > ?")
+            params.append(since)
+        query = "SELECT doc FROM events"
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY seq"
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [json.loads(row[0]) for row in rows]
+
+    def _scan(self):
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT doc FROM events ORDER BY seq").fetchall()
+        return [json.loads(row[0]) for row in rows]
+
+    def flush(self):
+        with self._lock:
+            if not self._closed:
+                self._conn.commit()
+
+    def close(self):
+        with self._lock:
+            if self._closed:
+                return
+            self._conn.commit()
+            self._conn.close()
+            self._closed = True
+
+
+SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+
+def open_event_log(path: Optional[str]) -> EventLog:
+    """Pick a backend from *path*: memory, SQLite, or JSON lines."""
+    if path is None or path == ":memory:":
+        return MemoryEventLog()
+    if path.endswith(SQLITE_SUFFIXES):
+        return SqliteEventLog(path)
+    return JsonlEventLog(path)

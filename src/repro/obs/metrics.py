@@ -1,0 +1,185 @@
+"""Process-global metrics: counters, gauges, histograms, spans.
+
+One :class:`MetricsRegistry` per process (the module-level
+:data:`METRICS`), fed by the fleet layers (telemetry folds its
+aggregates in), the API session (phase spans), the campaign engine
+(wave spans) and the interpreter (``run_steps`` batch boundaries --
+never the per-step loop, see PR 3's hot-path contract).
+
+The disabled path is deliberately near-zero: every recording call
+starts with one attribute check on ``registry.enabled``, and
+``span()`` returns a shared no-op context manager, so a registry
+switched off costs one boolean test per *batch* of work.  That is the
+property the ``bench_micro`` overhead gate pins.
+
+Histograms are the lightweight kind a verifier needs for trend lines:
+count / total / min / max (mean derives), not bucketed quantiles --
+``snapshot()`` keeps them JSON-safe for the CLI and result envelopes.
+"""
+
+import threading
+import time
+from typing import Dict
+
+__all__ = ["Histogram", "MetricsRegistry", "METRICS", "get_metrics"]
+
+
+class Histogram:
+    """Running summary of one observed series (durations, batch sizes)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float):
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "min": round(self.min, 6),
+            "max": round(self.max, 6),
+            "mean": round(self.mean, 6),
+        }
+
+
+class _NullSpan:
+    """The shared disabled-path span: enter/exit do nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Times one block and folds it into ``<name>.ms``."""
+
+    __slots__ = ("_registry", "_name", "_started")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self._name = name
+        self._started = 0.0
+
+    def __enter__(self):
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        elapsed_ms = (time.perf_counter() - self._started) * 1e3
+        self._registry.observe(self._name + ".ms", elapsed_ms)
+        return False
+
+
+class MetricsRegistry:
+    """Thread-safe counters/gauges/histograms with a cheap off switch.
+
+    Every mutator is guarded by ``self.enabled`` *before* the lock is
+    taken, so a disabled registry costs one attribute read per call --
+    nothing allocates, nothing synchronises.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ---- recording -------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1):
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float):
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float):
+        if not self.enabled:
+            return
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.observe(value)
+
+    def span(self, name: str):
+        """A context manager timing its block into ``<name>.ms``."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    # ---- control ---------------------------------------------------------
+
+    def enable(self, flag: bool = True):
+        self.enabled = flag
+
+    def reset(self):
+        """Drop every series (tests and benchmarks isolate with this)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # ---- reading ---------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def histogram(self, name: str) -> dict:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            return histogram.snapshot() if histogram else Histogram().snapshot()
+
+    def snapshot(self) -> dict:
+        """A JSON-safe dump of every series (sorted for stable output)."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {name: histogram.snapshot()
+                               for name, histogram
+                               in sorted(self._histograms.items())},
+            }
+
+
+# The process-global registry every layer records into.  Enabled by
+# default: the fleet layers are instrumented at batch/wave/exchange
+# granularity, cheap enough to leave on (the floors in benchmarks/
+# gate exactly that).
+METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    return METRICS

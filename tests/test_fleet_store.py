@@ -58,7 +58,8 @@ class TestStoreBackends:
             state=Lifecycle.QUARANTINED, firmware_version=7,
             firmware_hash="ab" * 32, enrolled_at=3, last_seen=123456,
             attest_count=9, violation_count=2, reset_count=1,
-            update_failures=4, nonce_high_water=41)
+            update_failures=4, nonce_high_water=41,
+            violation_totals={"stack-tamper": 2, "cfi-return": 1})
         clone = record_from_dict(record_to_dict(record))
         assert clone == record
 
@@ -137,6 +138,42 @@ class TestStoreBackends:
             assert len([line for line in handle if line.strip()]) == 1
         assert store.load_records()["d"]["firmware_version"] == 199
         store.close()
+
+    def test_jsonl_live_compaction_bounds_a_long_session(self, tmp_path):
+        # A long-running verifier (many campaigns, one open store)
+        # re-saves every record each sweep; the in-process compaction
+        # must keep the log bounded without any close/reopen.
+        store = make_store("jsonl", tmp_path)
+        doc = record_to_dict(DeviceRecord("d", UpdateKey.derive("d"),
+                                          "TI MSP430", "casu"))
+        for version in range(1000):
+            store.save_record(dict(doc, firmware_version=version))
+        with open(store.path, encoding="utf-8") as handle:
+            lines = len([line for line in handle if line.strip()])
+        # 1 live record: the threshold is max(64, 4 * live) appends.
+        assert lines <= 65
+        assert store.load_records()["d"]["firmware_version"] == 999
+        # The reopened handle keeps appending correctly post-compact.
+        store.save_record(dict(doc, firmware_version=1000))
+        store.close()
+        again = JsonlStore(store.path)
+        assert again.load_records()["d"]["firmware_version"] == 1000
+        again.close()
+
+    def test_jsonl_live_compaction_during_multi_campaign_run(self, tmp_path):
+        # Regression for the observability PR: successive campaigns
+        # over one open JSONL store must not grow the log unboundedly.
+        path = str(tmp_path / "fleet.jsonl")
+        fleet = FleetSimulation(size=6, store=path)
+        for version in range(1, 9):
+            report = fleet.rollout(version=version)
+            assert report.status is CampaignStatus.COMPLETE
+        fleet.registry.flush()
+        with open(path, encoding="utf-8") as handle:
+            lines = len([line for line in handle if line.strip()])
+        # 7 live documents (6 records + meta): bounded by the
+        # open-handle threshold, not by campaigns * devices.
+        assert lines <= max(64, 4 * 7) + 7
 
     def test_store_close_is_idempotent(self, tmp_path):
         for kind in ("jsonl", "sqlite"):
