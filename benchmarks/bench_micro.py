@@ -154,3 +154,50 @@ def test_bench_instrumentation_overhead(benchmark):
     assert overhead <= INSTRUMENTATION_OVERHEAD_CEILING, (
         f"metrics-enabled batched stepping is {overhead:.4f}x slower "
         f"than disabled (ceiling {INSTRUMENTATION_OVERHEAD_CEILING})")
+
+
+def test_bench_alert_engine_disabled_path_overhead(benchmark):
+    """Event emission with a *disabled* alert engine attached vs. no
+    engine at all, interleaved min-of-7.  A disabled engine never
+    subscribes, so the only possible cost is the bus's empty-tuple
+    check -- the ceiling pins alerting-off at <= 2% of the bare
+    emission path (the fleet layers emit per offer/quarantine, so
+    this sits on the campaign hot path)."""
+    from repro.obs import AlertEngine, MemoryEventLog
+
+    emissions = 20_000
+
+    def _emissions_per_sec(with_disabled_engine):
+        log = MemoryEventLog()
+        if with_disabled_engine:
+            AlertEngine(enabled=False).attach(log)
+        started = time.perf_counter()
+        for n in range(emissions):
+            log.emit("offer", device="d0", campaign="c1",
+                     status="applied", version=1)
+        elapsed = time.perf_counter() - started
+        log.close()
+        return emissions / elapsed
+
+    def measure():
+        bare_best = engine_best = 0.0
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(7):
+                bare_best = max(bare_best, _emissions_per_sec(False))
+                engine_best = max(engine_best, _emissions_per_sec(True))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return bare_best, engine_best
+
+    bare_eps, engine_eps = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = bare_eps / engine_eps
+    benchmark.extra_info["bare_emissions_per_sec"] = round(bare_eps)
+    benchmark.extra_info["disabled_engine_emissions_per_sec"] = \
+        round(engine_eps)
+    benchmark.extra_info["overhead"] = round(overhead, 4)
+    assert overhead <= INSTRUMENTATION_OVERHEAD_CEILING, (
+        f"emission with a disabled alert engine is {overhead:.4f}x slower "
+        f"than bare emission (ceiling {INSTRUMENTATION_OVERHEAD_CEILING})")

@@ -26,6 +26,7 @@ import time
 
 from repro.cli import main as cli_main
 from repro.fleet import CampaignConfig, CampaignStatus, FleetSimulation
+from repro.obs import METRICS, parse_prometheus, write_snapshot
 
 FLEET_SIZE = 300
 CAMPAIGNS = 3
@@ -51,6 +52,7 @@ def _history_json(events_path, *flags):
 
 def _run_trajectory(store_path, events_path):
     """CAMPAIGNS successive rollouts, each in a "fresh process"."""
+    METRICS.reset()  # the exported snapshot covers just this trajectory
     reports = []
     for number in range(1, CAMPAIGNS + 1):
         fleet = FleetSimulation(size=FLEET_SIZE, store=store_path,
@@ -130,6 +132,22 @@ def test_bench_fleet_trajectory(benchmark, tmp_path):
     artifact = os.path.join(os.getcwd(), "BENCH_fleet_trajectory.json")
     with open(artifact, "w", encoding="utf-8") as handle:
         json.dump(doc, handle, indent=2, sort_keys=False)
+
+    # The Prometheus exposition of the span-derived metrics the three
+    # campaigns recorded (CI uploads it next to the JSON artifact) --
+    # and the smoke check that the exporter's line format stays
+    # parseable (every sample line, one value, numeric).
+    prom_artifact = os.path.join(os.getcwd(), "BENCH_fleet_trajectory.prom")
+    snapshot = METRICS.snapshot()
+    write_snapshot(prom_artifact, snapshot, fmt="prom",
+                   source="bench_trajectory")
+    with open(prom_artifact, encoding="utf-8") as handle:
+        families = parse_prometheus(handle.read())
+    assert "eilid_campaign_offer_ms_count" in families
+    offer_count = families["eilid_campaign_offer_ms_count"][0][1]
+    assert offer_count == offers, (
+        f"prom export shows {offer_count} offer spans, campaigns "
+        f"reported {offers} offers")
 
     benchmark.extra_info["devices_per_sec"] = round(devices_per_sec)
     benchmark.extra_info["quarantined"] = quarantined_total

@@ -104,6 +104,10 @@ class RolloutDetails:
     # keyed by span name, e.g. "campaign.wave.ms"); None when the
     # process metrics registry is disabled.
     metrics: Optional[dict] = None
+    # Alerts the fleet's live engine fired during (or before) this
+    # campaign: () when the engine is attached but quiet, None when
+    # no engine is attached (FleetSpec.alerts unset).
+    alerts: Optional[Tuple[dict, ...]] = None
 
     def to_dict(self) -> dict:
         return {
@@ -119,6 +123,7 @@ class RolloutDetails:
             "backend": self.backend,
             "resumed": self.resumed,
             "metrics": self.metrics,
+            "alerts": None if self.alerts is None else list(self.alerts),
         }
 
 

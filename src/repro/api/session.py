@@ -190,6 +190,7 @@ class Session:
                 firmware=firmware,
                 store=spec.fleet.store,
                 events=spec.fleet.events,
+                alerts=spec.fleet.alerts,
             )
             # Enrollment happens in the constructor (or records are
             # restored from the durable store); enrolled_ok is the
@@ -302,6 +303,7 @@ class Session:
             batch_size=plan.batch_size,
             verify_after_wave=plan.verify_after_wave,
             backend=plan.backend,
+            metrics_dump=plan.metrics_dump,
         )
         with METRICS.span("session.rollout"):
             report = self.fleet.rollout(
@@ -329,6 +331,9 @@ class Session:
             backend=report.backend,
             resumed=report.resumed,
             metrics=self._campaign_metrics(),
+            alerts=(None if self.fleet.alerts is None
+                    else tuple(dict(alert)
+                               for alert in self.fleet.alerts.fired)),
         )
         # A campaign changes the evidence (firmware hashes, lifecycle
         # states, device cycles): every cached aggregate would go

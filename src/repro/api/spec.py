@@ -213,6 +213,10 @@ class RolloutSpec:
     verify_after_wave: bool = False
     backend: str = "thread"
     resume: bool = False
+    # After every wave's durability flush, write the process metrics
+    # snapshot to this path (``.prom`` suffix -> Prometheus text,
+    # anything else -> the JSON envelope; atomic replace either way).
+    metrics_dump: Optional[str] = None
 
     def validate(self, prefix="fleet.rollout"):
         from repro.fleet.campaign import CAMPAIGN_BACKENDS
@@ -237,6 +241,10 @@ class RolloutSpec:
                      f"{prefix}.{name}", "must be in [0, 1]")
         _require(self.workers >= 0, f"{prefix}.workers", "must be >= 0")
         _require(self.batch_size >= 1, f"{prefix}.batch_size", "must be >= 1")
+        if self.metrics_dump is not None:
+            _require(isinstance(self.metrics_dump, str) and self.metrics_dump,
+                     f"{prefix}.metrics_dump",
+                     "must be a non-empty path string")
         return self
 
     def to_dict(self) -> dict:
@@ -251,6 +259,7 @@ class RolloutSpec:
             "verify_after_wave": self.verify_after_wave,
             "backend": self.backend,
             "resume": self.resume,
+            "metrics_dump": self.metrics_dump,
         }
 
     @staticmethod
@@ -258,7 +267,7 @@ class RolloutSpec:
         _check_keys(data, ("version", "wave_fractions", "failure_threshold",
                            "tamper_fraction", "rollback_fraction", "workers",
                            "batch_size", "verify_after_wave", "backend",
-                           "resume"), prefix)
+                           "resume", "metrics_dump"), prefix)
         return RolloutSpec(
             version=data.get("version", 1),
             wave_fractions=tuple(data.get("wave_fractions", (0.05, 0.25, 1.0))),
@@ -270,7 +279,48 @@ class RolloutSpec:
             verify_after_wave=data.get("verify_after_wave", False),
             backend=data.get("backend", "thread"),
             resume=data.get("resume", False),
+            metrics_dump=data.get("metrics_dump"),
         )
+
+
+_ALERT_OVERRIDE_KEYS = ("threshold", "window", "min_events", "severity")
+
+
+def _validate_alerts(alerts, prefix: str):
+    """Value-shape checks for ``FleetSpec.alerts`` (see its docstring)."""
+    from repro.obs.alerts import RULE_REGISTRY
+
+    if alerts is True:
+        return
+    _require(isinstance(alerts, dict), prefix,
+             "must be True (default rules) or a {rule: config} mapping")
+    for name, value in alerts.items():
+        _require(name in RULE_REGISTRY, f"{prefix}.{name}",
+                 f"unknown alert rule; one of {', '.join(RULE_REGISTRY)}")
+        if isinstance(value, bool) or value is None:
+            continue
+        if isinstance(value, (int, float)):
+            continue
+        _require(isinstance(value, dict), f"{prefix}.{name}",
+                 "must be a bool, a threshold number, or an override dict")
+        for key, override in value.items():
+            _require(key in _ALERT_OVERRIDE_KEYS, f"{prefix}.{name}.{key}",
+                     f"unknown override; one of "
+                     f"{', '.join(_ALERT_OVERRIDE_KEYS)}")
+            if key == "severity":
+                _require(isinstance(override, str) and override,
+                         f"{prefix}.{name}.severity",
+                         "must be a non-empty string")
+            else:
+                _require(isinstance(override, (int, float))
+                         and not isinstance(override, bool),
+                         f"{prefix}.{name}.{key}", "must be a number")
+        if "window" in value:
+            _require(value["window"] > 0, f"{prefix}.{name}.window",
+                     "must be > 0 seconds")
+        if "min_events" in value:
+            _require(value["min_events"] >= 1, f"{prefix}.{name}.min_events",
+                     "must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -285,6 +335,14 @@ class FleetSpec:
     ``events`` does the same for the longitudinal telemetry log (same
     suffix dispatch); without it the fleet still records events, but
     only in memory for the life of the process.
+
+    ``alerts`` switches the live alert engine on over that event
+    stream: ``True`` attaches the default rule panel, a dict tunes it
+    per rule -- each key a rule name (``quarantine-rate``,
+    ``wave-stall``, ``violation-surge``, ``replay-burst``), each value
+    ``False`` (drop), ``True`` (defaults), a number (threshold
+    override) or a dict of ``threshold``/``window``/``min_events``/
+    ``severity`` overrides.
     """
 
     size: int = 100
@@ -296,6 +354,7 @@ class FleetSpec:
     run_cycles: int = 2_000
     store: Optional[str] = None
     events: Optional[str] = None
+    alerts: Optional[object] = None
     rollout: Optional[RolloutSpec] = None
 
     def validate(self, prefix="fleet"):
@@ -312,6 +371,8 @@ class FleetSpec:
         if self.events is not None:
             _require(isinstance(self.events, str) and self.events,
                      f"{prefix}.events", "must be a non-empty path string")
+        if self.alerts is not None:
+            _validate_alerts(self.alerts, f"{prefix}.alerts")
         if self.rollout is not None:
             self.rollout.validate(f"{prefix}.rollout")
         return self
@@ -327,6 +388,7 @@ class FleetSpec:
             "run_cycles": self.run_cycles,
             "store": self.store,
             "events": self.events,
+            "alerts": self.alerts,
             "rollout": None if self.rollout is None else self.rollout.to_dict(),
         }
 
@@ -334,7 +396,7 @@ class FleetSpec:
     def from_dict(data: dict, prefix="fleet") -> "FleetSpec":
         _check_keys(data, ("size", "loss", "reorder", "seed", "max_attempts",
                            "verify_traces", "run_cycles", "store", "events",
-                           "rollout"),
+                           "alerts", "rollout"),
                     prefix)
         rollout = data.get("rollout")
         return FleetSpec(
@@ -347,6 +409,7 @@ class FleetSpec:
             run_cycles=data.get("run_cycles", 2_000),
             store=data.get("store"),
             events=data.get("events"),
+            alerts=data.get("alerts"),
             rollout=None if rollout is None
             else RolloutSpec.from_dict(rollout, f"{prefix}.rollout"),
         )

@@ -15,16 +15,26 @@ Commands:
   Table IV application and print its run summary.
 * ``attack NAME [--security none|casu|eilid]`` -- run one attack.
 * ``verify`` -- model-check the monitor properties.
-* ``fleet enroll|status|rollout|history`` -- simulate a verifier
-  managing a population of devices (see :mod:`repro.fleet`).
-  ``--store PATH`` makes the verifier's registry durable across
-  invocations (SQLite or JSON lines by extension); ``--events PATH``
-  records the longitudinal telemetry log the same way, and ``fleet
-  history`` replays it (per-device timelines, per-campaign rollups,
-  cross-campaign trends) without building a fleet; ``rollout
-  --backend process`` shards the campaign across worker processes,
-  and ``rollout --resume`` continues a killed campaign from the store
-  without re-offering applied devices.
+* ``fleet enroll|status|rollout|history|watch|alerts|metrics`` --
+  simulate a verifier managing a population of devices (see
+  :mod:`repro.fleet`).  ``--store PATH`` makes the verifier's registry
+  durable across invocations (SQLite or JSON lines by extension);
+  ``--events PATH`` records the longitudinal telemetry log the same
+  way, and ``fleet history`` replays it (per-device timelines,
+  per-campaign rollups, cross-campaign trends) without building a
+  fleet; ``rollout --backend process`` shards the campaign across
+  worker processes, and ``rollout --resume`` continues a killed
+  campaign from the store without re-offering applied devices.
+  Live observability: ``--alerts`` / ``--alert NAME=THRESHOLD``
+  attach the rule engine (:mod:`repro.obs.alerts`) so spikes fire
+  ``alert`` events into the same log; ``fleet watch --follow`` tails
+  an event DB another process is writing (one line -- or, with
+  ``--json``, one JSON document -- per event: the one subcommand that
+  streams JSONL rather than a single envelope); ``fleet alerts``
+  lists recorded alerts or re-evaluates rules offline (``--replay``);
+  ``fleet metrics --format prom|json`` exports the span-derived
+  metrics registry, either live or from a ``rollout --metrics-dump``
+  snapshot file.
 * ``cfg build|diff|verify-trace`` -- binary CFG recovery, CFI-policy
   compilation/cross-check, and branch-trace replay
   (see :mod:`repro.cfg`).
@@ -346,6 +356,33 @@ def _cmd_cfg_verify_trace(args):
 # ---- fleet -----------------------------------------------------------------
 
 
+def _alerts_config(args):
+    """Fold ``--alerts`` / ``--alert NAME=VALUE`` into the FleetSpec
+    shape: None (engine off), True (default panel) or a {rule:
+    threshold} dict."""
+    overrides = {}
+    for entry in getattr(args, "alert", None) or ():
+        name, separator, value = entry.partition("=")
+        if not separator:
+            raise _UsageError(f"--alert wants NAME=THRESHOLD, got {entry!r}")
+        try:
+            overrides[name] = float(value)
+        except ValueError:
+            raise _UsageError(
+                f"--alert {name}: threshold {value!r} is not a number"
+            ) from None
+    if overrides:
+        from repro.obs.alerts import RULE_REGISTRY
+
+        for name in overrides:
+            if name not in RULE_REGISTRY:
+                raise _UsageError(
+                    f"unknown alert rule {name!r}; one of "
+                    f"{', '.join(RULE_REGISTRY)}")
+        return overrides
+    return True if getattr(args, "alerts", False) else None
+
+
 def _fleet_session(args, rollout=None, run_cycles=2_000):
     from repro.api import FleetSpec, ScenarioSpec
 
@@ -360,6 +397,7 @@ def _fleet_session(args, rollout=None, run_cycles=2_000):
             run_cycles=run_cycles,
             store=args.store,
             events=args.events,
+            alerts=_alerts_config(args),
             rollout=rollout,
         ),
     ))
@@ -509,6 +547,7 @@ def _cmd_fleet_rollout(args):
         batch_size=args.batch_size,
         backend=args.backend,
         resume=args.resume,
+        metrics_dump=args.metrics_dump,
     )
     if args.resume and not args.store:
         raise _UsageError("--resume needs --store (the durable registry "
@@ -523,7 +562,160 @@ def _cmd_fleet_rollout(args):
         print(session.campaign_report.render())
         print()
         print(session.fleet.status())
+        engine = session.fleet.alerts
+        if engine is not None and engine.fired:
+            print()
+            for alert in engine.fired:
+                print(f"ALERT[{alert['severity']}] {alert['rule']} "
+                      f"({alert['campaign'] or '-'}): {alert['message']}")
     return EXIT_HALTED if session.campaign_report.halted else EXIT_OK
+
+
+def _watch_line(doc: dict) -> str:
+    """One human-readable line per streamed event."""
+    campaign = doc["campaign"] or "-"
+    device = doc["device"] or "-"
+    if doc["kind"] == "alert":
+        data = doc["data"]
+        return (f"#{doc['seq']} ALERT[{data.get('severity', '?')}] "
+                f"{data.get('rule', '?')} {campaign}: "
+                f"{data.get('message', '')}")
+    return (f"#{doc['seq']} {doc['kind']:<14} {device:<12} {campaign:<6} "
+            f"{_event_line(doc)}")
+
+
+def _cmd_fleet_watch(args):
+    import os
+    import time
+
+    from repro.obs import open_event_tail
+
+    path = args.events
+    if not path:
+        raise _UsageError("fleet watch needs --events PATH (the event DB a "
+                          "running fleet invocation writes to)")
+    if not args.follow and path != ":memory:" and not os.path.exists(path):
+        # With --follow the writer may simply not have created the
+        # file yet; without it an absent DB is an operator typo.
+        raise _UsageError(f"no event DB at {path!r} (use --follow to wait "
+                          f"for a writer to create it)")
+    tail = open_event_tail(path, since_seq=args.since)
+    deadline = (time.monotonic() + args.timeout) if args.timeout else None
+    streamed = alerts = 0
+    ended = False
+    try:
+        while True:
+            for doc in tail.read():
+                streamed += 1
+                if doc["kind"] == "alert":
+                    alerts += 1
+                elif doc["kind"] == "campaign-end":
+                    ended = True
+                if args.json:
+                    # A JSONL stream (one document per event), not the
+                    # usual single envelope: watch is a pipe, and each
+                    # line parses on its own.
+                    print(json.dumps(doc, sort_keys=True), flush=True)
+                else:
+                    print(_watch_line(doc), flush=True)
+            if not args.follow:
+                break
+            if args.until_end and ended:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        tail.close()
+    if not args.json:
+        print(f"-- {streamed} events (through seq {tail.last_seq}), "
+              f"{alerts} alerts")
+    return EXIT_SECURITY if alerts else EXIT_OK
+
+
+def _cmd_fleet_alerts(args):
+    import os
+
+    from repro.api import envelope
+    from repro.eval.report import render_table
+    from repro.obs import open_event_log
+    from repro.obs.alerts import AlertEngine, build_rules
+
+    path = args.events
+    if not path:
+        raise _UsageError("fleet alerts needs --events PATH (the event DB "
+                          "a previous fleet invocation recorded to)")
+    if path != ":memory:" and not os.path.exists(path):
+        raise _UsageError(f"no event DB at {path!r}")
+    log = open_event_log(path)
+    try:
+        recorded = [dict(event["data"], campaign=event["campaign"],
+                         ts=event["ts"], seq=event["seq"])
+                    for event in log.events(kind="alert")]
+        replayed = None
+        if args.replay:
+            # Re-evaluate the rule panel over the stored history --
+            # the path for logs recorded without a live engine (or
+            # with different thresholds).  Nothing is written back.
+            config = _alerts_config(args)
+            engine = AlertEngine(build_rules(
+                config if isinstance(config, dict) else None))
+            replayed = engine.replay(log)
+    finally:
+        log.close()
+    shown = replayed if args.replay else recorded
+    if args.json:
+        doc = envelope("cli.fleet-alerts", events=path,
+                       recorded=recorded, replayed=replayed,
+                       alerts=shown)
+        _print_json(doc)
+    else:
+        rows = [(alert.get("severity", "?"), alert.get("rule", "?"),
+                 alert.get("campaign") or "-", alert.get("message", ""))
+                for alert in shown]
+        mode = "replayed" if args.replay else "recorded"
+        print(render_table(("severity", "rule", "campaign", "message"), rows,
+                           title=f"{len(rows)} {mode} alerts"))
+    critical = any(alert.get("severity") == "critical" for alert in shown)
+    return EXIT_SECURITY if critical else EXIT_OK
+
+
+def _cmd_fleet_metrics(args):
+    from repro.obs.export import to_json_doc, to_prometheus
+
+    source = None
+    if args.snapshot:
+        import os
+
+        if not os.path.exists(args.snapshot):
+            raise _UsageError(f"no metrics snapshot at {args.snapshot!r}")
+        with open(args.snapshot, "r", encoding="utf-8") as handle:
+            try:
+                doc = json.load(handle)
+            except json.JSONDecodeError:
+                raise _UsageError(
+                    f"{args.snapshot!r} is not a JSON metrics snapshot "
+                    f"(--from wants the json dump; a .prom dump is already "
+                    f"in exposition format)") from None
+        # Accept both the enveloped dump (--metrics-dump / periodic
+        # wave dumps) and a bare registry snapshot.
+        snapshot = doc.get("metrics", doc)
+        source = doc.get("source", args.snapshot)
+    else:
+        # No snapshot file: run the fleet workload the usual flags
+        # describe and export what this process recorded.
+        session = _fleet_session(args)
+        session.run()
+        session.attest()
+        snapshot = session.metrics()
+    fmt = "json" if args.json else args.format
+    if fmt == "prom":
+        print(to_prometheus(snapshot), end="")
+    else:
+        _print_json(to_json_doc(snapshot, source=source))
+    return EXIT_OK
 
 
 # ---- parser ----------------------------------------------------------------
@@ -631,6 +823,13 @@ def main(argv=None):
                        help="durable event DB (same suffix dispatch as "
                             "--store); every enroll/attest/offer/quarantine "
                             "is logged for fleet history to replay")
+        p.add_argument("--alerts", action="store_true",
+                       help="attach the default alert-rule panel; fired "
+                            "alerts land in the event DB as 'alert' events")
+        p.add_argument("--alert", action="append", metavar="NAME=THRESHOLD",
+                       help="attach one alert rule with a custom threshold "
+                            "(repeatable; implies --alerts for the named "
+                            "rules only)")
         add_json(p)
 
     p_enroll = fleet_sub.add_parser("enroll", help="provision + enroll devices")
@@ -665,6 +864,9 @@ def main(argv=None):
     p_rollout.add_argument("--resume", action="store_true",
                            help="skip devices whose stored record already "
                                 "shows the target version (needs --store)")
+    p_rollout.add_argument("--metrics-dump", default=None, metavar="PATH",
+                           help="write a metrics snapshot after every wave "
+                                "(.prom -> Prometheus text, else JSON)")
     p_rollout.set_defaults(func=_cmd_fleet_rollout)
 
     p_history = fleet_sub.add_parser(
@@ -680,6 +882,55 @@ def main(argv=None):
                            help="print cross-campaign trend series")
     add_json(p_history)
     p_history.set_defaults(func=_cmd_fleet_history)
+
+    p_watch = fleet_sub.add_parser(
+        "watch", help="stream events live from a fleet's event DB")
+    p_watch.add_argument("--events", default=None, metavar="PATH",
+                         help="the event DB another fleet invocation is "
+                              "writing to (required)")
+    p_watch.add_argument("--since", type=int, default=0, metavar="SEQ",
+                         help="skip events with seq <= SEQ")
+    p_watch.add_argument("--follow", action="store_true",
+                         help="keep polling for new events instead of "
+                              "exiting at the current end of the log")
+    p_watch.add_argument("--interval", type=float, default=0.2,
+                         metavar="SECONDS", help="poll interval with --follow")
+    p_watch.add_argument("--timeout", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="stop following after SECONDS (0 = forever)")
+    p_watch.add_argument("--until-end", action="store_true",
+                         help="with --follow, stop once a campaign-end "
+                              "event streams past")
+    p_watch.add_argument("--json", action="store_true",
+                         help="stream one JSON document per event (JSONL)")
+    p_watch.set_defaults(func=_cmd_fleet_watch)
+
+    p_alerts = fleet_sub.add_parser(
+        "alerts", help="list recorded alerts, or re-evaluate rules offline")
+    p_alerts.add_argument("--events", default=None, metavar="PATH",
+                          help="the event DB a previous fleet invocation "
+                               "recorded to (required)")
+    p_alerts.add_argument("--replay", action="store_true",
+                          help="re-run the rule panel over the stored "
+                               "events instead of listing recorded alerts")
+    p_alerts.add_argument("--alert", action="append", metavar="NAME=THRESHOLD",
+                          help="with --replay: evaluate only the named "
+                               "rules, at these thresholds (repeatable)")
+    add_json(p_alerts)
+    p_alerts.set_defaults(func=_cmd_fleet_alerts)
+
+    p_metrics = fleet_sub.add_parser(
+        "metrics", help="export metrics as Prometheus text or JSON")
+    fleet_common(p_metrics)
+    p_metrics.add_argument("--from", dest="snapshot", default=None,
+                           metavar="PATH",
+                           help="export a JSON snapshot file (e.g. a "
+                                "--metrics-dump) instead of running a "
+                                "fleet workload")
+    p_metrics.add_argument("--format", choices=("prom", "json"),
+                           default="prom",
+                           help="exposition format (--json forces json)")
+    p_metrics.set_defaults(func=_cmd_fleet_metrics)
 
     try:
         args = parser.parse_args(argv)

@@ -73,6 +73,12 @@ class CampaignConfig:
     # GIL, "process" shards the wave across worker processes that
     # rebuild their devices from record snapshots (see module doc).
     backend: str = "thread"
+    # Periodic observability dump: after every wave's durability
+    # flush, write the process metrics snapshot to this path (atomic
+    # replace; a ``.prom`` suffix picks the Prometheus text format,
+    # anything else the JSON envelope).  A scraper pointed here sees
+    # a long campaign progress wave by wave.
+    metrics_dump: Optional[str] = None
 
     def __post_init__(self):
         fractions = tuple(self.wave_fractions)
@@ -193,9 +199,13 @@ class RolloutCampaign:
     ``(function, context)`` pair.  The campaign calls
     ``function(context, record_docs)`` in a worker process for each
     batch, where *record_docs* are ``store.record_to_dict`` snapshots
-    taken just before submission; the function returns mutated record
-    documents plus offer outcomes, which the campaign merges back into
-    the live registry (and its store) on the main thread.
+    taken just before submission; the function returns a shard
+    document ``{"outcomes": [...], "metrics": snapshot}`` -- mutated
+    record/outcome documents the campaign merges back into the live
+    registry (and its store) on the main thread, plus the worker's
+    per-batch ``MetricsRegistry.snapshot()``, folded into the parent
+    registry with its spans re-rooted under the wave's span (a bare
+    outcome list is accepted from older shard tasks).
     """
 
     def __init__(self, registry: FleetRegistry,
@@ -314,10 +324,16 @@ class RolloutCampaign:
         return report
 
     def _run_wave(self, index: int, wave: List[str], pool) -> WaveResult:
-        with METRICS.span("campaign.wave"):
-            return self._run_wave_inner(index, wave, pool)
+        # The wave span parents every offer/attest span below it --
+        # including spans recorded inside worker processes, which merge
+        # back re-rooted onto this id (see METRICS.merge in the process
+        # branch).  Pool threads do not inherit the main thread's span
+        # stack, so the id travels explicitly.
+        with METRICS.span("campaign.wave") as wave_span:
+            return self._run_wave_inner(index, wave, pool, wave_span.id)
 
-    def _run_wave_inner(self, index: int, wave: List[str], pool) -> WaveResult:
+    def _run_wave_inner(self, index: int, wave: List[str], pool,
+                        wave_span: Optional[str] = None) -> WaveResult:
         # Mark the wave in flight, remembering each device's prior
         # state so a failed offer rolls back to what the device
         # actually was (ENROLLED devices must not surface as ACTIVE
@@ -344,11 +360,25 @@ class RolloutCampaign:
             func, context = self.shard_task
             payloads = [[record_to_dict(self.registry.get(device_id))
                          for device_id in batch] for batch in batches]
-            for shard_outcomes in pool.map(func, repeat(context), payloads):
+            for shard_doc in pool.map(func, repeat(context), payloads):
+                if isinstance(shard_doc, list):
+                    # Pre-metrics shard tasks return a bare outcome
+                    # list; accept it (no worker metrics to merge).
+                    shard_outcomes = shard_doc
+                else:
+                    # The wire format's other half: the worker's
+                    # per-batch MetricsRegistry snapshot folds into
+                    # the parent registry, its spans re-rooted under
+                    # this wave so thread and process backends report
+                    # identical totals and one causal tree.
+                    METRICS.merge(shard_doc.get("metrics"),
+                                  reroot_to=wave_span)
+                    shard_outcomes = shard_doc["outcomes"]
                 outcomes.extend(self._merge_shard_outcome(doc)
                                 for doc in shard_outcomes)
         else:
-            for batch_outcomes in pool.map(self._run_batch, batches):
+            for batch_outcomes in pool.map(
+                    lambda batch: self._run_batch(batch, wave_span), batches):
                 outcomes.extend(batch_outcomes)
         result = WaveResult(index=index, size=len(wave), applied=0, failed=0)
         for outcome in outcomes:
@@ -372,6 +402,15 @@ class RolloutCampaign:
                 failed=result.failed, statuses=dict(result.statuses))
         # Durability point: a kill after this flush resumes from here.
         self.registry.flush()
+        if self.config.metrics_dump:
+            from repro.obs.export import write_snapshot
+
+            fmt = ("prom" if self.config.metrics_dump.endswith(".prom")
+                   else "json")
+            write_snapshot(self.config.metrics_dump, METRICS.snapshot(),
+                           fmt=fmt,
+                           source=f"{self._campaign_id or 'campaign'}"
+                                  f"/wave{index}")
         return result
 
     def _merge_shard_outcome(self, doc: dict) -> DeviceOutcome:
@@ -423,7 +462,8 @@ class RolloutCampaign:
                 continue
             session = self.session_factory(outcome.device_id)
             session.campaign = self._campaign_id
-            attest = session.attest()
+            with METRICS.span("campaign.attest"):
+                attest = session.attest()
             # The attest consumed a nonce (and may have quarantined);
             # persist before the wave's durability flush.
             self.registry.save(self.registry.get(outcome.device_id))
@@ -433,7 +473,8 @@ class RolloutCampaign:
             result.failed += 1
             result.statuses[f"verify:{attest.detail}"] += 1
 
-    def _run_batch(self, batch: List[str]) -> List[DeviceOutcome]:
+    def _run_batch(self, batch: List[str],
+                   wave_span: Optional[str] = None) -> List[DeviceOutcome]:
         """Worker task: one batch of devices, conversations end to end."""
         outcomes = []
         for device_id in batch:
@@ -441,7 +482,10 @@ class RolloutCampaign:
             session = self.session_factory(device_id)
             session.campaign = self._campaign_id
             package = self.package_factory(record)
-            offer = session.offer_update(package)
+            # Explicit parent: this runs on a pool thread whose span
+            # stack is empty; the wave id restores the causal link.
+            with METRICS.span("campaign.offer", parent=wave_span):
+                offer = session.offer_update(package)
             outcomes.append(DeviceOutcome(device_id, offer.status,
                                           offer.attempts, detail=offer.detail))
         return outcomes

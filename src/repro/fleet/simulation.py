@@ -53,6 +53,7 @@ from repro.fleet.store import (
 from repro.fleet.telemetry import FleetTelemetry
 from repro.fleet.transport import Transport
 from repro.obs.events import MemoryEventLog, open_event_log
+from repro.obs.metrics import METRICS
 
 # A fleet node's firmware: report a reading, signal DONE, idle.
 FLEET_APP = """
@@ -93,7 +94,7 @@ class FleetSimulation:
     def __init__(self, size=0, security="casu", platform="TI MSP430",
                  loss=0.0, reorder=0.0, seed=0, max_attempts=4,
                  verify_traces=False, firmware: Optional[FirmwareSpec] = None,
-                 store=None, events=None):
+                 store=None, events=None, alerts=None):
         if size < 0:
             raise ValueError("fleet size must be >= 0")
         self.security = security
@@ -124,6 +125,16 @@ class FleetSimulation:
         elif events is None:
             events = MemoryEventLog()
         self.events = events
+        # Live alerting over the event stream: ``alerts=True`` attaches
+        # the default rule panel, a dict (``FleetSpec.alerts`` shape)
+        # tunes thresholds per rule.  Off (None/False) means the engine
+        # never subscribes -- emissions pay only the bus's empty check.
+        self.alerts = None
+        if alerts:
+            from repro.obs.alerts import AlertEngine, build_rules
+
+            config = None if alerts is True else dict(alerts)
+            self.alerts = AlertEngine(build_rules(config)).attach(events)
         self.registry = FleetRegistry(store=store, events=events)
         self.transport = Transport(loss=loss, reorder=reorder, seed=seed)
         self.telemetry = FleetTelemetry(events=events)
@@ -345,6 +356,10 @@ class FleetSimulation:
                 "payload": payload.hex(),
                 "tamper_ids": sorted(tamper_ids),
                 "rollback_ids": sorted(rollback_ids),
+                # Workers mirror the parent's metrics switch: a fleet
+                # run with METRICS disabled must not pay for worker-
+                # side span recording either.
+                "metrics": METRICS.enabled,
             })
         campaign = RolloutCampaign(
             self.registry,
@@ -411,7 +426,7 @@ class FleetSimulation:
 # ---- process-backend shard worker ------------------------------------------
 
 
-def _run_shard(context: dict, record_docs: List[dict]) -> List[dict]:
+def _run_shard(context: dict, record_docs: List[dict]) -> dict:
     """Run one batch of update conversations in a worker process.
 
     The campaign pickles this function plus a static *context* (fleet
@@ -421,9 +436,16 @@ def _run_shard(context: dict, record_docs: List[dict]) -> List[dict]:
     once per worker process), fast-forwards its monotonic version
     counter from the record, recreates its deterministic link from the
     fleet seed + device id, and drives the full authenticated offer
-    conversation -- ROM copy on the simulated CPU included.  It returns
-    outcome documents carrying the mutated freshness fields for the
-    parent's merge.
+    conversation -- ROM copy on the simulated CPU included.
+
+    The return document has two halves: ``outcomes`` carries the
+    mutated freshness fields for the parent's registry merge, and
+    ``metrics`` carries this batch's worker-side
+    ``MetricsRegistry.snapshot()`` -- interpreter counters, per-offer
+    spans under a ``campaign.shard`` root -- which the parent folds in
+    re-rooted under the wave's span.  The worker registry resets at
+    batch start so reused pool processes report per-batch deltas, not
+    lifetime totals.
     """
     spec = FirmwareSpec.from_dict(context["firmware"])
     program = build_firmware(spec).program
@@ -434,32 +456,39 @@ def _run_shard(context: dict, record_docs: List[dict]) -> List[dict]:
     version = context["version"]
     tampered = frozenset(context["tamper_ids"])
     rolled_back = frozenset(context["rollback_ids"])
+    METRICS.enable(context.get("metrics", True))
+    METRICS.reset()
     outcomes = []
-    for doc in record_docs:
-        record = record_from_dict(doc)
-        device = build_device(program, security=context["security"],
-                              update_key=record.key)
-        device.update_engine.current_version = record.firmware_version
-        link = transport.link(record.device_id)
-        agent = DeviceAgent(record.device_id, device, link)
-        session = VerifierSession(record, agent, link,
-                                  max_attempts=context["max_attempts"])
-        if record.device_id in rolled_back:
-            package = UpdatePackage.make(record.key, target, payload,
-                                         record.firmware_version)
-        else:
-            package = UpdatePackage.make(record.key, target, payload, version)
-            if record.device_id in tampered:
-                package = package.tampered()
-        offer = session.offer_update(package)
-        outcomes.append({
-            "device_id": record.device_id,
-            "status": offer.status.value if offer.status else None,
-            "detail": offer.detail,
-            "attempts": offer.attempts,
-            "current_version": record.firmware_version,
-            "nonce_high_water": record.nonce_high_water,
-            "applied_versions": list(record.applied_versions),
-            "state": record.state.value,
-        })
-    return outcomes
+    with METRICS.span("campaign.shard"):
+        for doc in record_docs:
+            record = record_from_dict(doc)
+            device = build_device(program, security=context["security"],
+                                  update_key=record.key)
+            device.update_engine.current_version = record.firmware_version
+            link = transport.link(record.device_id)
+            agent = DeviceAgent(record.device_id, device, link)
+            session = VerifierSession(record, agent, link,
+                                      max_attempts=context["max_attempts"])
+            if record.device_id in rolled_back:
+                package = UpdatePackage.make(record.key, target, payload,
+                                             record.firmware_version)
+            else:
+                package = UpdatePackage.make(record.key, target, payload,
+                                             version)
+                if record.device_id in tampered:
+                    package = package.tampered()
+            # Same span name as the thread backend's offers, so the
+            # merged histogram totals are backend-independent.
+            with METRICS.span("campaign.offer"):
+                offer = session.offer_update(package)
+            outcomes.append({
+                "device_id": record.device_id,
+                "status": offer.status.value if offer.status else None,
+                "detail": offer.detail,
+                "attempts": offer.attempts,
+                "current_version": record.firmware_version,
+                "nonce_high_water": record.nonce_high_water,
+                "applied_versions": list(record.applied_versions),
+                "state": record.state.value,
+            })
+    return {"outcomes": outcomes, "metrics": METRICS.snapshot()}

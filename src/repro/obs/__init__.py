@@ -1,16 +1,26 @@
-"""Observability: the event-log telemetry DB and the metrics layer.
+"""Observability: stored history, live streams, alerts, exporters.
 
-Two halves, both consumed by the fleet stack and the scenario API:
+Four pieces, all consumed by the fleet stack and the scenario API:
 
 * :mod:`repro.obs.events`  -- the append-only event log (memory /
   JSONL / SQLite behind ``open_event_log``) that registry, protocol
   and campaign layers write their operational facts to, and that
   ``fleet history`` replays into timelines, rollups and trends.
-* :mod:`repro.obs.metrics` -- the process-global
-  :class:`MetricsRegistry` of counters/gauges/histograms plus
-  context-manager spans, with a near-zero disabled path.
+* :mod:`repro.obs.bus`     -- the live half: every log fans its
+  emissions out on an in-process :class:`EventBus`, and a second
+  process follows the durable file with an ``open_event_tail``
+  cursor (what ``fleet watch --follow`` polls).
+* :mod:`repro.obs.alerts`  -- declarative rules over sliding event
+  windows (quarantine-rate, wave-stall, violation-surge,
+  replay-burst) firing ``alert`` events back into the same log.
+* :mod:`repro.obs.metrics` / :mod:`repro.obs.export` -- the
+  process-global :class:`MetricsRegistry` of counters / gauges /
+  histograms plus causal span trees (near-zero disabled path), and
+  its Prometheus / JSON exporters.
 """
 
+from repro.obs.alerts import AlertEngine, AlertRule, build_rules, default_rules
+from repro.obs.bus import EventBus, EventTail, open_event_tail
 from repro.obs.events import (
     EVENT_KINDS,
     EventLog,
@@ -20,11 +30,21 @@ from repro.obs.events import (
     SqliteEventLog,
     open_event_log,
 )
+from repro.obs.export import (
+    parse_prometheus,
+    to_json_doc,
+    to_prometheus,
+    write_snapshot,
+)
 from repro.obs.metrics import METRICS, Histogram, MetricsRegistry, get_metrics
 
 __all__ = [
     "EVENT_KINDS",
+    "AlertEngine",
+    "AlertRule",
+    "EventBus",
     "EventLog",
+    "EventTail",
     "Histogram",
     "JsonlEventLog",
     "METRICS",
@@ -32,6 +52,13 @@ __all__ = [
     "MetricsRegistry",
     "ObsError",
     "SqliteEventLog",
+    "build_rules",
+    "default_rules",
     "get_metrics",
     "open_event_log",
+    "open_event_tail",
+    "parse_prometheus",
+    "to_json_doc",
+    "to_prometheus",
+    "write_snapshot",
 ]

@@ -43,6 +43,7 @@ import time
 from typing import Dict, Iterable, List, Optional
 
 from repro.errors import ReproError
+from repro.obs.bus import EventBus
 
 __all__ = [
     "EVENT_KINDS",
@@ -71,6 +72,7 @@ EVENT_KINDS = (
     "campaign-start",
     "campaign-end",
     "violation-delta",
+    "alert",
 )
 
 
@@ -89,6 +91,11 @@ class EventLog:
     def __init__(self):
         self._lock = threading.Lock()
         self._seq = 0
+        # The live half: every stored document also fans out to this
+        # bus's subscribers (alert engine, watchers).  Publication
+        # happens OUTSIDE self._lock so a subscriber may emit follow-up
+        # events (an alert) without deadlocking the log.
+        self.bus = EventBus()
 
     # ---- emission --------------------------------------------------------
 
@@ -103,6 +110,7 @@ class EventLog:
             doc = {"seq": self._seq, "ts": time.time(), "kind": kind,
                    "device": device, "campaign": campaign, "data": data}
             self._append(doc)
+        self.bus.publish(doc)
         return doc
 
     def start_campaign(self, **data) -> str:
@@ -119,6 +127,7 @@ class EventLog:
                    "kind": "campaign-start", "device": None,
                    "campaign": campaign_id, "data": data}
             self._append(doc)
+        self.bus.publish(doc)
         return campaign_id
 
     def _append(self, doc: dict):
@@ -153,6 +162,16 @@ class EventLog:
 
     def _scan(self) -> Iterable[dict]:
         raise NotImplementedError
+
+    def tail(self, since_seq: int = 0) -> List[dict]:
+        """Every event with ``seq > since_seq``, in seq order.
+
+        The in-process follow cursor: call with the last seq you saw
+        and you get exactly the events you missed.  (A *different*
+        process follows the durable file instead, via
+        :func:`repro.obs.bus.open_event_tail`.)
+        """
+        return self.events(since=since_seq)
 
     def __len__(self):
         return len(self.events())
@@ -244,6 +263,8 @@ class EventLog:
                     "waves": 0,
                     "quarantined": 0,
                     "quarantine_reasons": {},
+                    "alerts": 0,
+                    "alert_rules": {},
                     "devices_per_sec": None,
                     "elapsed_s": None,
                 }
@@ -272,19 +293,32 @@ class EventLog:
                 reason = data.get("reason", "")
                 reasons = entry["quarantine_reasons"]
                 reasons[reason] = reasons.get(reason, 0) + 1
+            elif kind == "alert":
+                entry["alerts"] += 1
+                rule = data.get("rule", "")
+                rules = entry["alert_rules"]
+                rules[rule] = rules.get(rule, 0) + 1
         return sorted(campaigns.values(),
                       key=lambda entry: int(entry["campaign"][1:]))
 
     def trends(self) -> dict:
-        """Cross-campaign series (one entry per campaign, start order)."""
+        """Cross-campaign series (one entry per campaign, start order).
+
+        Always well-formed: an empty log yields empty (not missing)
+        series, and a campaign without an end event yet -- in flight,
+        or killed mid-run -- contributes ``0.0`` throughput rather
+        than ``None`` so the series stay numeric and plottable.
+        """
         rollups = self.campaign_rollup()
         return {
             "campaigns": [entry["campaign"] for entry in rollups],
             "target_versions": [entry["target_version"] for entry in rollups],
-            "devices_per_sec": [entry["devices_per_sec"] for entry in rollups],
+            "devices_per_sec": [entry["devices_per_sec"] or 0.0
+                                for entry in rollups],
             "applied": [entry["applied"] for entry in rollups],
             "failed": [entry["failed"] for entry in rollups],
             "quarantined": [entry["quarantined"] for entry in rollups],
+            "alerts": [entry["alerts"] for entry in rollups],
         }
 
 

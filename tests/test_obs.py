@@ -212,7 +212,8 @@ class TestMetrics:
         with registry.span("s"):
             pass
         snapshot = registry.snapshot()
-        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {},
+                            "spans": []}
         # The disabled span is the shared no-op singleton: zero alloc.
         assert registry.span("x") is registry.span("y")
 
