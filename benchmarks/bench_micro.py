@@ -35,6 +35,11 @@ CACHE_SPEEDUP_FLOOR = 2.0
 # never inside the step loop), so enabling it may cost at most 2%
 # against the disabled path's single attribute check.
 INSTRUMENTATION_OVERHEAD_CEILING = 1.02
+# The snapshot gate: Device.snapshot() on an idle device is a pure
+# state walk (registers, page-level memory delta, peripheral dicts) --
+# it must stay a rounding error next to actually running a batch, or
+# checkpoint-heavy fault sweeps would pay for it per fault.
+SNAPSHOT_COST_CEILING = 0.05
 
 # A loop mixing register, absolute and immediate operands, conditional
 # and unconditional jumps -- the step-loop shapes the Table IV apps hit.
@@ -154,6 +159,48 @@ def test_bench_instrumentation_overhead(benchmark):
     assert overhead <= INSTRUMENTATION_OVERHEAD_CEILING, (
         f"metrics-enabled batched stepping is {overhead:.4f}x slower "
         f"than disabled (ceiling {INSTRUMENTATION_OVERHEAD_CEILING})")
+
+
+def test_bench_snapshot_overhead(benchmark):
+    """``Device.snapshot()`` on an idle (not currently stepping)
+    device must cost <= 5% of a ``run_steps`` batch, interleaved
+    min-of-7.  The device has real dirty state to walk -- the hot
+    loop has been writing DMEM all along -- so the page-delta path is
+    measured doing actual work, not short-circuiting on a pristine
+    memory image."""
+    program = _hot_program()
+    steps = 60_000
+    device = build_device(program, security="none")
+
+    def measure():
+        batch_best = snapshot_best = float("inf")
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(7):
+                started = time.perf_counter()
+                result = device.run_steps(steps, stop_on_done=False)
+                batch_best = min(batch_best,
+                                 time.perf_counter() - started)
+                assert result.steps == steps
+                started = time.perf_counter()
+                snapshot = device.snapshot()
+                snapshot_best = min(snapshot_best,
+                                    time.perf_counter() - started)
+                assert snapshot.to_dict()["memory"]  # dirty pages walked
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return snapshot_best, batch_best
+
+    snapshot_s, batch_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    cost = snapshot_s / batch_s
+    benchmark.extra_info["snapshot_ms"] = round(snapshot_s * 1e3, 3)
+    benchmark.extra_info["run_steps_batch_ms"] = round(batch_s * 1e3, 3)
+    benchmark.extra_info["snapshot_cost_of_batch"] = round(cost, 4)
+    assert cost <= SNAPSHOT_COST_CEILING, (
+        f"snapshot() costs {cost:.4f} of a {steps}-step batch "
+        f"(ceiling {SNAPSHOT_COST_CEILING})")
 
 
 def test_bench_alert_engine_disabled_path_overhead(benchmark):

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Fault-injection sweep: grade every defense profile against the
+same seeded faults.
+
+A :class:`~repro.api.FaultSpec` turns one Table IV application into a
+systematic campaign (:mod:`repro.faults`): fault sites are enumerated
+from the recovered CFG, a seeded plan samples them (bit-flips in
+IMEM, register corruption, instruction skips, peripheral data
+corruption), and every fault runs against a snapshot-restored device
+under each defense profile.  The per-profile table is the paper-style
+detection/escape/crash/silent-corruption breakdown -- and because the
+eilid monitor set is a strict superset of casu's, the detection rates
+must nest: eilid >= casu >= none.
+"""
+
+from repro.api import FaultSpec, FirmwareSpec, ScenarioSpec, Session
+
+APP = "light_sensor"
+SEED = 7
+FAULTS = 24
+
+
+def main():
+    spec = ScenarioSpec(
+        name="fault-sweep-demo",
+        firmware=FirmwareSpec(kind="app", app=APP, variant="original"),
+    )
+    plan = FaultSpec(seed=SEED, count=FAULTS)
+    print(f"1. sweeping {FAULTS} seeded faults over {APP} "
+          f"(seed {SEED}, profiles {', '.join(plan.profiles)}) ...")
+    report = Session(spec).fault_sweep(plan)
+
+    print("2. the per-profile table:")
+    print(report.render())
+
+    none, casu, eilid = (report.tally(p) for p in ("none", "casu", "eilid"))
+    print(f"3. detection nests with the monitor sets: "
+          f"eilid {eilid.detected} >= casu {casu.detected} "
+          f">= none {none.detected}")
+    assert none.detected == 0, "no monitors, nothing to detect"
+    assert eilid.detected >= casu.detected >= none.detected
+    assert casu.detected > 0, "the seeded plan should trip monitors"
+    for profile in ("none", "casu", "eilid"):
+        assert report.tally(profile).total == FAULTS
+    print(f"   ok ({report.faults_per_sec:.0f} faults/s, "
+          f"{report.backend} backend)")
+
+
+if __name__ == "__main__":
+    main()

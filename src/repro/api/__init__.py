@@ -56,6 +56,7 @@ from repro.api.spec import (
     SCHEMA,
     SECURITY_PROFILES,
     SPEC_VERSION,
+    FaultSpec,
     FirmwareSpec,
     FleetSpec,
     LimitsSpec,
@@ -72,6 +73,7 @@ __all__ = [
     "DeviceAttestation",
     "DeviceVerification",
     "FIRMWARE_KINDS",
+    "FaultSpec",
     "FirmwareBuild",
     "FirmwareSpec",
     "FleetRunDetails",

@@ -105,6 +105,7 @@ class Session:
         self._attest_outcome: Optional[AttestOutcome] = None
         self._verify_outcome: Optional[VerifyOutcome] = None
         self.campaign_report = None  # the raw CampaignReport, post-rollout
+        self.fault_report = None  # the raw FaultReport, post-fault_sweep
         self.run_result = None  # the raw device RunResult (run workloads)
         self._policy_cache = None
         self._fleet_enrolled = 0  # handshake successes at enroll time
@@ -344,6 +345,42 @@ class Session:
         if self._run_outcome is not None:
             self._run_outcome = self._fleet_run_outcome(details)
         return details
+
+    def fault_sweep(self, plan=None, events=None):
+        """Run a seeded fault-injection sweep over this session's firmware.
+
+        *plan* is a :class:`~repro.api.spec.FaultSpec` (defaults apply
+        when omitted): sites are enumerated from the recovered CFG,
+        expanded deterministically from the seed, and run against every
+        requested defense profile (see :mod:`repro.faults`).  Returns
+        the :class:`~repro.faults.FaultReport`; *events* (an obs
+        :class:`~repro.obs.events.EventLog`) makes the sweep watchable
+        with ``fleet watch``.
+        """
+        from repro.api.spec import FaultSpec
+        from repro.cfg import recover_cfg
+        from repro.faults import FaultCampaign, enumerate_sites, expand_plan
+
+        plan = plan if plan is not None else FaultSpec()
+        plan.validate()
+        firmware = self._firmware_spec()
+        if firmware is None:
+            raise SpecError("faults", "this scenario has no firmware to sweep")
+        build = self._ensure_firmware()
+        name = firmware.app or firmware.name
+        cfg = recover_cfg(build.program, name=name)
+        sites = enumerate_sites(cfg, kinds=plan.kinds)
+        fault_plan = expand_plan(sites, seed=plan.seed, count=plan.count,
+                                 name=name)
+        campaign = FaultCampaign(
+            firmware, fault_plan, profiles=plan.profiles,
+            backend=plan.backend, workers=plan.workers,
+            max_cycles=plan.max_cycles, warmup_steps=plan.warmup_steps,
+            events=events)
+        with METRICS.span("session.fault_sweep"):
+            report = campaign.run()
+        self.fault_report = report
+        return report
 
     @staticmethod
     def _campaign_metrics() -> Optional[dict]:

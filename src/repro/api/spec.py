@@ -283,6 +283,92 @@ class RolloutSpec:
         )
 
 
+# ---- fault sweeps -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One seeded fault-injection sweep (see :mod:`repro.faults`).
+
+    ``count=None`` sweeps every enumerated site; ``kinds``/``profiles``
+    default to the full set.  ``backend="process"`` runs the sweep on a
+    process pool by shipping device snapshots to the workers;
+    ``warmup_steps`` advances the honest device before the snapshot is
+    taken, so faults land mid-workload instead of at reset.
+    """
+
+    seed: int = 0
+    count: Optional[int] = None
+    kinds: Tuple[str, ...] = ("imem-flip", "insn-skip", "reg-corrupt",
+                              "periph-corrupt")
+    profiles: Tuple[str, ...] = ("none", "casu", "eilid")
+    backend: str = "thread"
+    workers: int = 4
+    warmup_steps: int = 0
+    max_cycles: int = 2_000_000
+
+    def validate(self, prefix="faults"):
+        from repro.faults.campaign import FAULT_BACKENDS, FAULT_PROFILES
+        from repro.faults.sites import FAULT_KINDS
+
+        _require(_int_like(self.seed) and self.seed >= 0,
+                 f"{prefix}.seed", "must be an integer >= 0")
+        if self.count is not None:
+            _require(_int_like(self.count) and self.count >= 1,
+                     f"{prefix}.count", "must be an integer >= 1 (or null "
+                     "to sweep every site)")
+        _require(len(self.kinds) > 0, f"{prefix}.kinds",
+                 "at least one fault kind is required")
+        unknown = sorted(set(self.kinds) - set(FAULT_KINDS))
+        _require(not unknown, f"{prefix}.kinds",
+                 f"unknown fault kind(s) {', '.join(map(repr, unknown))}; "
+                 f"one of {', '.join(FAULT_KINDS)}")
+        _require(len(self.profiles) > 0, f"{prefix}.profiles",
+                 "at least one defense profile is required")
+        unknown = sorted(set(self.profiles) - set(FAULT_PROFILES))
+        _require(not unknown, f"{prefix}.profiles",
+                 f"unknown profile(s) {', '.join(map(repr, unknown))}; "
+                 f"one of {', '.join(FAULT_PROFILES)}")
+        _require(self.backend in FAULT_BACKENDS, f"{prefix}.backend",
+                 f"unknown backend {self.backend!r}; "
+                 f"one of {', '.join(FAULT_BACKENDS)}")
+        _require(_int_like(self.workers) and self.workers >= 1,
+                 f"{prefix}.workers", "must be an integer >= 1")
+        _require(_int_like(self.warmup_steps) and self.warmup_steps >= 0,
+                 f"{prefix}.warmup_steps", "must be an integer >= 0")
+        _require(_int_like(self.max_cycles) and self.max_cycles >= 1,
+                 f"{prefix}.max_cycles", "must be an integer >= 1")
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "count": self.count,
+            "kinds": list(self.kinds),
+            "profiles": list(self.profiles),
+            "backend": self.backend,
+            "workers": self.workers,
+            "warmup_steps": self.warmup_steps,
+            "max_cycles": self.max_cycles,
+        }
+
+    @staticmethod
+    def from_dict(data: dict, prefix="faults") -> "FaultSpec":
+        _check_keys(data, ("seed", "count", "kinds", "profiles", "backend",
+                           "workers", "warmup_steps", "max_cycles"), prefix)
+        spec = FaultSpec(
+            seed=data.get("seed", 0),
+            count=data.get("count"),
+            kinds=tuple(data.get("kinds", FaultSpec.kinds)),
+            profiles=tuple(data.get("profiles", FaultSpec.profiles)),
+            backend=data.get("backend", "thread"),
+            workers=data.get("workers", 4),
+            warmup_steps=data.get("warmup_steps", 0),
+            max_cycles=data.get("max_cycles", 2_000_000),
+        )
+        return spec
+
+
 _ALERT_OVERRIDE_KEYS = ("threshold", "window", "min_events", "severity")
 
 

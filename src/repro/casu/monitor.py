@@ -262,3 +262,14 @@ class HardwareMonitor:
     @property
     def update_session_open(self):
         return self._pmem_guard is not None and self._pmem_guard.update_session_open
+
+    # ---- snapshot/restore (see repro.snapshot) -----------------------
+
+    def snapshot_state(self):
+        """The monitor's only mutable state: the PMEM-guard session."""
+        return {"update_session_open": self.update_session_open}
+
+    def restore_state(self, state):
+        if self._pmem_guard is not None:
+            self._pmem_guard.update_session_open = bool(
+                state["update_session_open"])

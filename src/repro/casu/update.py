@@ -110,3 +110,17 @@ class UpdateEngine:
     def accept(self, package: UpdatePackage):
         """Advance the monotonic version after a successful apply."""
         self.current_version = package.version
+
+    # ---- snapshot/restore (see repro.snapshot) ---------------------------
+
+    def snapshot_state(self):
+        return {
+            "current_version": self.current_version,
+            "history": [[version, status.value]
+                        for version, status in self.history],
+        }
+
+    def restore_state(self, state):
+        self.current_version = state["current_version"]
+        self.history = [(version, UpdateStatus(value))
+                        for version, value in state["history"]]

@@ -217,6 +217,36 @@ class BranchTraceRecorder:
             capacity=self.capacity,
         )
 
+    # ---- snapshot/restore (see repro.snapshot) ---------------------------
+
+    def snapshot_state(self):
+        """Full recorder state, including the per-entry chain values
+        (unlike :meth:`snapshot`, which is the attestation *evidence*
+        view and drops them)."""
+        return {
+            "edges": [[src, dst, kind, chain]
+                      for src, dst, kind, chain in self._edges],
+            "digest": self._digest,
+            "prefix": self._prefix,
+            "total": self.total,
+            "dropped": self.dropped,
+            "capacity": self.capacity,
+        }
+
+    def restore_state(self, state):
+        if state["capacity"] != self.capacity:
+            raise ValueError(
+                f"trace snapshot capacity {state['capacity']} does not match "
+                f"recorder capacity {self.capacity}")
+        self._edges = deque(
+            ((src, dst, kind, chain)
+             for src, dst, kind, chain in state["edges"]),
+            maxlen=self.capacity)
+        self._digest = state["digest"]
+        self._prefix = state["prefix"]
+        self.total = state["total"]
+        self.dropped = state["dropped"]
+
     def clear(self):
         """Forget everything (fresh provisioning, not used on reset --
         a violation's trace is exactly the evidence worth keeping)."""

@@ -353,6 +353,91 @@ def _cmd_cfg_verify_trace(args):
     return EXIT_OK if verdict.ok else EXIT_SECURITY
 
 
+# ---- faults ----------------------------------------------------------------
+
+
+def _faults_kinds(args):
+    from repro.faults import FAULT_KINDS
+
+    if not args.kinds:
+        return FAULT_KINDS
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    unknown = sorted(set(kinds) - set(FAULT_KINDS))
+    if unknown:
+        raise _UsageError(f"unknown fault kind(s) {', '.join(unknown)}; "
+                          f"one of {', '.join(FAULT_KINDS)}")
+    return kinds
+
+
+def _cmd_faults_enumerate(args):
+    from repro.api import FirmwareSpec, SpecError, build_firmware, envelope
+    from repro.cfg import recover_cfg
+    from repro.faults import enumerate_sites
+
+    try:
+        build = build_firmware(FirmwareSpec(
+            kind="app", app=args.name, variant=args.variant).validate())
+    except SpecError as error:
+        raise _UsageError(str(error)) from None
+    cfg = recover_cfg(build.program, name=args.name)
+    sites = enumerate_sites(cfg, kinds=_faults_kinds(args))
+    counts = {}
+    for site in sites:
+        counts[site.kind] = counts.get(site.kind, 0) + 1
+    if args.json:
+        _print_json(envelope(
+            "cli.faults-enumerate",
+            app=args.name, variant=args.variant,
+            total=len(sites), kinds=counts,
+            sites=[{"kind": site.kind, "pc": site.pc,
+                    "function": site.function, "block": site.block}
+                   for site in sites]))
+        return EXIT_OK
+    print(f"{args.name} ({args.variant}): {len(sites)} fault sites "
+          f"from {len(cfg.functions)} functions / {cfg.block_count} blocks")
+    for kind in sorted(counts):
+        print(f"  {kind}: {counts[kind]}")
+    return EXIT_OK
+
+
+def _cmd_faults_sweep(args):
+    from repro.api import (
+        FaultSpec,
+        FirmwareSpec,
+        ScenarioSpec,
+        SpecError,
+        envelope,
+    )
+
+    profiles = tuple(p.strip() for p in args.profiles.split(",") if p.strip())
+    try:
+        plan = FaultSpec(
+            seed=args.seed, count=args.count, kinds=_faults_kinds(args),
+            profiles=profiles, backend=args.backend, workers=args.workers,
+            warmup_steps=args.warmup_steps).validate()
+    except SpecError as error:
+        raise _UsageError(str(error)) from None
+    session = _session(ScenarioSpec(
+        name=args.name,
+        firmware=FirmwareSpec(kind="app", app=args.name,
+                              variant=args.variant)))
+    events = None
+    if args.events:
+        from repro.obs.events import open_event_log
+
+        events = open_event_log(args.events)
+    try:
+        report = session.fault_sweep(plan, events=events)
+    finally:
+        if events is not None:
+            events.close()
+    if args.json:
+        _print_json(envelope("cli.faults-sweep", **report.to_dict()))
+    else:
+        print(report.render())
+    return EXIT_OK
+
+
 # ---- fleet -----------------------------------------------------------------
 
 
@@ -801,6 +886,47 @@ def main(argv=None):
                               default="none",
                               help="device security level for --attack runs")
     p_cfg_verify.set_defaults(func=_cmd_cfg_verify_trace)
+
+    p_faults = sub.add_parser(
+        "faults", help="CFG-driven fault-injection campaigns")
+    faults_sub = p_faults.add_subparsers(dest="faults_command", required=True)
+
+    def faults_common(p):
+        p.add_argument("name", nargs="?", default="light_sensor",
+                       help="Table IV application name")
+        p.add_argument("--variant", choices=("original", "eilid"),
+                       default="original",
+                       help="firmware variant to sweep (default original: "
+                            "every profile runs the same image, so the "
+                            "eilid >= casu >= none ordering is exact)")
+        p.add_argument("--kinds", default=None, metavar="K1,K2",
+                       help="comma-separated fault kinds (default: all)")
+        add_json(p)
+
+    p_faults_enum = faults_sub.add_parser(
+        "enumerate", help="list fault sites recovered from the CFG")
+    faults_common(p_faults_enum)
+    p_faults_enum.set_defaults(func=_cmd_faults_enumerate)
+
+    p_faults_sweep = faults_sub.add_parser(
+        "sweep", help="run a seeded sweep and grade each defense profile")
+    faults_common(p_faults_sweep)
+    p_faults_sweep.add_argument("--seed", type=int, default=0)
+    p_faults_sweep.add_argument("--count", type=int, default=48,
+                                help="faults to sample from the site pool")
+    p_faults_sweep.add_argument("--profiles", default="none,casu,eilid",
+                                help="comma-separated defense profiles")
+    p_faults_sweep.add_argument("--backend", choices=("thread", "process"),
+                                default="thread")
+    p_faults_sweep.add_argument("--workers", type=int, default=4)
+    p_faults_sweep.add_argument("--warmup-steps", type=int, default=0,
+                                help="honest steps before the snapshot "
+                                     "faults are injected into")
+    p_faults_sweep.add_argument("--events", default=None, metavar="PATH",
+                                help="log fault-inject/fault-outcome events "
+                                     "to this event DB (watch with "
+                                     "'fleet watch')")
+    p_faults_sweep.set_defaults(func=_cmd_faults_sweep)
 
     p_fleet = sub.add_parser("fleet", help="simulate a managed device fleet")
     fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)

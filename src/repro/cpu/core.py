@@ -207,6 +207,27 @@ class Cpu:
         self.regs = [0] * NUM_REGISTERS
         self.pc = self.bus.peek_word(RESET_VECTOR)
 
+    # ---- snapshot/restore (see repro.snapshot) ----------------------------
+
+    def snapshot_state(self):
+        """Architectural register state, JSON-safe."""
+        return {
+            "regs": list(self.regs),
+            "total_cycles": self.total_cycles,
+            "instruction_count": self.instruction_count,
+        }
+
+    def restore_state(self, state):
+        """Adopt a captured register file.
+
+        The decode cache is deliberately untouched: the caller restores
+        memory first (:meth:`repro.memory.bus.Bus.restore_memory`),
+        which already dropped every cached decode.
+        """
+        self.regs = [v & 0xFFFF for v in state["regs"]]
+        self.total_cycles = state["total_cycles"]
+        self.instruction_count = state["instruction_count"]
+
     # ---- stepping ---------------------------------------------------------
 
     def step(self) -> StepRecord:

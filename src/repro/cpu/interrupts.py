@@ -46,3 +46,16 @@ class InterruptController:
     @property
     def any_pending(self):
         return self.pending_index() is not None
+
+    # ---- snapshot/restore (see repro.snapshot) ---------------------------
+
+    def snapshot_state(self):
+        return {"pending": list(self._pending)}
+
+    def restore_state(self, state):
+        pending = state["pending"]
+        if len(pending) != NUM_VECTORS:
+            raise MemoryAccessError(
+                f"interrupt snapshot has {len(pending)} lines, "
+                f"expected {NUM_VECTORS}")
+        self._pending = [bool(line) for line in pending]

@@ -18,8 +18,19 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.casu.monitor import HardwareMonitor, MonitorPolicy, Violation
+from repro.casu.monitor import (
+    HardwareMonitor,
+    MonitorPolicy,
+    Violation,
+    ViolationReason,
+)
 from repro.cfg.trace import BranchTraceRecorder, TraceSnapshot, empty_snapshot
+from repro.snapshot import (
+    WIRE_VERSION,
+    DeviceSnapshot,
+    SnapshotError,
+    memory_delta,
+)
 from repro.casu.update import (
     STAGING_HEADER_WORDS,
     UpdateEngine,
@@ -56,6 +67,26 @@ class DeviceEvent:
     def __str__(self):
         body = f": {self.violation}" if self.violation else ""
         return f"[{self.cycle}] {self.kind}{body}"
+
+
+def _event_to_doc(event: DeviceEvent) -> dict:
+    doc = {"kind": event.kind, "cycle": event.cycle}
+    if event.violation is not None:
+        v = event.violation
+        doc["violation"] = {"reason": v.reason.value, "pc": v.pc,
+                            "addr": v.addr, "detail": v.detail}
+    return doc
+
+
+def _event_from_doc(doc: dict) -> DeviceEvent:
+    violation = None
+    raw = doc.get("violation")
+    if raw is not None:
+        violation = Violation(reason=ViolationReason(raw["reason"]),
+                              pc=raw["pc"], addr=raw["addr"],
+                              detail=raw["detail"])
+    return DeviceEvent(kind=doc["kind"], cycle=doc["cycle"],
+                       violation=violation)
 
 
 @dataclass
@@ -168,6 +199,9 @@ class Device:
 
         for addr, data in program.segments():
             self.bus.load_bytes(addr, data)
+        # Reference image for snapshot memory deltas: the loaded
+        # firmware before any execution (reset reads, never writes).
+        self._baseline = bytes(self.bus.mem)
         self.cpu.reset()
 
     # ---- accessors -----------------------------------------------------------
@@ -244,6 +278,89 @@ class Device:
             trace_edges=snapshot.total,
             trace_dropped=snapshot.dropped,
         )
+
+    # ---- snapshot/restore --------------------------------------------------------
+
+    def snapshot(self) -> "DeviceSnapshot":
+        """Capture the complete mutable device state (see repro.snapshot).
+
+        Must be called between steps (the per-step bus trace is drained
+        into each StepRecord, so there is no in-flight transaction to
+        lose).  The result restores into any device built from the same
+        program/security/peripheral configuration.
+        """
+        doc = {
+            "codec": WIRE_VERSION,
+            "program": self.program.name,
+            "security": self.security,
+            "cycle": self.cycle,
+            "reset_count": self.reset_count,
+            "events": [_event_to_doc(e) for e in self.events],
+            "events_dropped": self.events_dropped,
+            "violation_count": self.violation_count,
+            "violation_totals": dict(self.violation_totals),
+            "cpu": self.cpu.snapshot_state(),
+            "memory": memory_delta(self.bus.mem, self._baseline),
+            "interrupts": self.ic.snapshot_state(),
+            "peripherals": {name: p.snapshot_state()
+                            for name, p in self.peripherals.items()},
+            "trace": (None if self.trace is None
+                      else self.trace.snapshot_state()),
+            "monitor": (None if self.monitor is None
+                        else self.monitor.snapshot_state()),
+            "update_engine": self.update_engine.snapshot_state(),
+        }
+        return DeviceSnapshot(doc)
+
+    def restore(self, snapshot) -> None:
+        """Adopt a snapshot's state, bit-identically.
+
+        *snapshot* is a :class:`DeviceSnapshot` or its dict wire form.
+        The device must have been built from the same program and
+        security profile; a mismatch raises :class:`SnapshotError`
+        rather than silently producing a franken-device.  Restoring the
+        memory image drops the whole decode cache (see
+        :meth:`repro.memory.bus.Bus.restore_memory`), so code mutated
+        before the snapshot -- self-modifying or attacker-injected --
+        always re-decodes on the restored device.
+        """
+        if isinstance(snapshot, DeviceSnapshot):
+            doc = snapshot.to_dict()
+        else:
+            doc = DeviceSnapshot.from_dict(snapshot).to_dict()
+        if doc.get("program") != self.program.name:
+            raise SnapshotError(
+                f"snapshot is for program {doc.get('program')!r}, "
+                f"device runs {self.program.name!r}")
+        if doc.get("security") != self.security:
+            raise SnapshotError(
+                f"snapshot is for security {doc.get('security')!r}, "
+                f"device is {self.security!r}")
+        if (doc["trace"] is None) != (self.trace is None):
+            raise SnapshotError(
+                "snapshot and device disagree on trace recording")
+        try:
+            self.bus.restore_memory(self._baseline, doc["memory"])
+            self.cpu.restore_state(doc["cpu"])
+            self.ic.restore_state(doc["interrupts"])
+            for name, peripheral in self.peripherals.items():
+                peripheral.restore_state(doc["peripherals"][name])
+            if self.trace is not None:
+                self.trace.restore_state(doc["trace"])
+            if self.monitor is not None and doc["monitor"] is not None:
+                self.monitor.restore_state(doc["monitor"])
+            self.update_engine.restore_state(doc["update_engine"])
+            self.cycle = doc["cycle"]
+            self.reset_count = doc["reset_count"]
+            self.events = deque((_event_from_doc(e) for e in doc["events"]),
+                                maxlen=self.max_events)
+            self.events_dropped = doc["events_dropped"]
+            self.violation_count = doc["violation_count"]
+            self.violation_totals = dict(doc["violation_totals"])
+        except (KeyError, ValueError, TypeError) as error:
+            raise SnapshotError(f"malformed device snapshot: {error!r}")
+        self.bus.current_pc = self.cpu.pc
+        self.bus.trace.clear()
 
     # ---- stepping ----------------------------------------------------------------
 

@@ -1,0 +1,82 @@
+"""Fault-site enumeration from the recovered CFG.
+
+A *site* is a static location where a fault can be planted; the
+concrete parameters (which bit, which register, which peripheral) are
+chosen later by the seeded plan expander (:mod:`repro.faults.plan`).
+
+Four kinds, mirroring the LLFI instrumentation points scaled down to
+the MCU model:
+
+* ``imem-flip``      -- one bit of an instruction's IMEM encoding,
+                        per decoded instruction;
+* ``insn-skip``      -- suppress one instruction (PC jumps to its
+                        fall-through), per decoded instruction;
+* ``reg-corrupt``    -- XOR a general-purpose register when execution
+                        reaches a basic-block entry;
+* ``periph-corrupt`` -- corrupt a peripheral data latch (ADC sample,
+                        GPIO out, timer count, UART RX) at a
+                        basic-block entry.
+
+Enumeration walks :class:`repro.cfg.recover.RecoveredCfg` function by
+function, so every site carries its function/block context for the
+report and for per-region filtering.
+"""
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+FAULT_KINDS = ("imem-flip", "insn-skip", "reg-corrupt", "periph-corrupt")
+
+# Peripherals a periph-corrupt fault may target (see inject.py for the
+# per-peripheral mutation each one means).
+CORRUPTIBLE_PERIPHERALS = ("adc", "gpio", "timer", "uart")
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One static fault location."""
+
+    kind: str  # one of FAULT_KINDS
+    pc: int  # the instruction / block-entry address the fault anchors to
+    function: str
+    block: int  # containing basic block's start address
+    size: int = 2  # instruction size in bytes (imem-flip / insn-skip)
+    next_pc: Optional[int] = None  # fall-through address (insn-skip)
+
+    def __str__(self):
+        return f"{self.kind}@0x{self.pc:04x} ({self.function})"
+
+
+def enumerate_sites(cfg, kinds: Sequence[str] = FAULT_KINDS) -> List[FaultSite]:
+    """All fault sites of the requested *kinds* in a recovered CFG.
+
+    Per-instruction kinds (``imem-flip``, ``insn-skip``) yield one site
+    per decoded instruction; per-block kinds (``reg-corrupt``,
+    ``periph-corrupt``) yield one per basic-block entry.  Order is
+    deterministic: functions by entry address, blocks by start, insns
+    by address -- the seeded plan expander depends on it.
+    """
+    unknown = sorted(set(kinds) - set(FAULT_KINDS))
+    if unknown:
+        raise ValueError(f"unknown fault kind(s) {', '.join(unknown)}; "
+                         f"one of {', '.join(FAULT_KINDS)}")
+    wanted = frozenset(kinds)
+    sites: List[FaultSite] = []
+    functions = sorted(cfg.functions.values(), key=lambda fn: fn.entry)
+    for fn in functions:
+        for block in sorted(fn.blocks.values(), key=lambda b: b.start):
+            if "reg-corrupt" in wanted:
+                sites.append(FaultSite("reg-corrupt", block.start,
+                                       fn.name, block.start))
+            if "periph-corrupt" in wanted:
+                sites.append(FaultSite("periph-corrupt", block.start,
+                                       fn.name, block.start))
+            for insn in block.insns:
+                if "imem-flip" in wanted:
+                    sites.append(FaultSite("imem-flip", insn.addr, fn.name,
+                                           block.start, size=insn.size))
+                if "insn-skip" in wanted:
+                    sites.append(FaultSite("insn-skip", insn.addr, fn.name,
+                                           block.start, size=insn.size,
+                                           next_pc=insn.next_addr))
+    return sites

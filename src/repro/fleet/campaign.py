@@ -73,6 +73,12 @@ class CampaignConfig:
     # GIL, "process" shards the wave across worker processes that
     # rebuild their devices from record snapshots (see module doc).
     backend: str = "thread"
+    # Process-backend state shipping: None (auto) ships full device
+    # snapshots only for replicas the simulation knows are mutated
+    # (fault hooks), True for every device (state-faithful but pays
+    # snapshot+restore per device per wave), False never (pure
+    # record rebuild, pre-snapshot behaviour).
+    ship_device_state: Optional[bool] = None
     # Periodic observability dump: after every wave's durability
     # flush, write the process metrics snapshot to this path (atomic
     # replace; a ``.prom`` suffix picks the Prometheus text format,
@@ -215,6 +221,7 @@ class RolloutCampaign:
                  config: Optional[CampaignConfig] = None,
                  telemetry=None,
                  shard_task: Optional[Tuple[Callable, dict]] = None,
+                 snapshot_factory: Optional[Callable[[str], Optional[dict]]] = None,
                  post_wave_merge: Optional[Callable[[], None]] = None):
         self.registry = registry
         self.session_factory = session_factory
@@ -223,6 +230,13 @@ class RolloutCampaign:
         self.config = config or CampaignConfig()
         self.telemetry = telemetry
         self.shard_task = shard_task
+        # Process backend: ``snapshot_factory(device_id)`` returns the
+        # wire dict of a full device snapshot (repro.snapshot) or None.
+        # When present it rides the record doc as ``doc["device"]`` so
+        # workers restore the *live* device state -- including any
+        # adversarial mutation -- instead of rebuilding an honest
+        # device from the record alone.
+        self.snapshot_factory = snapshot_factory
         # Runs after a wave's outcomes merge, before post-wave
         # verification and the durability flush.  The simulation hooks
         # its replica sync here so verify_after_wave on the process
@@ -358,7 +372,7 @@ class RolloutCampaign:
             from repro.fleet.store import record_to_dict
 
             func, context = self.shard_task
-            payloads = [[record_to_dict(self.registry.get(device_id))
+            payloads = [[self._shard_doc(record_to_dict, device_id)
                          for device_id in batch] for batch in batches]
             for shard_doc in pool.map(func, repeat(context), payloads):
                 if isinstance(shard_doc, list):
@@ -412,6 +426,21 @@ class RolloutCampaign:
                            source=f"{self._campaign_id or 'campaign'}"
                                   f"/wave{index}")
         return result
+
+    def _shard_doc(self, record_to_dict, device_id: str) -> dict:
+        """One record's shard wire document, plus its device snapshot.
+
+        The record codec carries the verifier-side state; the optional
+        ``device`` field carries the full device-side state so the
+        worker resurrects the exact (possibly compromised) device
+        rather than an honest rebuild.
+        """
+        doc = record_to_dict(self.registry.get(device_id))
+        if self.snapshot_factory is not None:
+            snapshot = self.snapshot_factory(device_id)
+            if snapshot is not None:
+                doc["device"] = snapshot
+        return doc
 
     def _merge_shard_outcome(self, doc: dict) -> DeviceOutcome:
         """Fold one worker-process outcome document into the registry.

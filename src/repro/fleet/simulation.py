@@ -112,6 +112,12 @@ class FleetSimulation:
         # CFI policy recovered from the shared firmware image.
         self.verify_traces = verify_traces
         self._policy = None
+        # Device ids whose replica state diverged from an honest
+        # rebuild (fault hooks, forged traces, corrupted firmware):
+        # process-backend campaigns ship these replicas' full
+        # snapshots so workers see the true state; everyone else
+        # keeps the cheap record-only rebuild path.
+        self._mutated: set = set()
         # Durable verifier state: a path picks a backend via
         # open_store; records found in it are restored, not re-enrolled.
         if isinstance(store, str):
@@ -370,6 +376,18 @@ class FleetSimulation:
             config=config,
             telemetry=self.telemetry,
             shard_task=shard_task,
+            # Ship mutated replicas' full snapshots with their
+            # records: workers restore the actual device state --
+            # firmware corruption, forged trace rings and all --
+            # instead of rebuilding an honest device (which quietly
+            # *undid* fault hooks on the process backend).  Honest
+            # replicas keep the cheap record-only rebuild;
+            # ``ship_device_state`` forces all (True) or none (False).
+            snapshot_factory=(
+                (lambda device_id: self._replica_snapshot(
+                    device_id, force=config.ship_device_state is True))
+                if (config.backend == "process"
+                    and config.ship_device_state is not False) else None),
             # Per wave, not post-run: verify_after_wave must attest
             # the synced replicas, and a halt must leave the applied
             # waves' replicas consistent.
@@ -378,6 +396,21 @@ class FleetSimulation:
                 if config.backend == "process" else None),
         )
         return campaign.run(device_ids=device_ids, resume=resume)
+
+    def _replica_snapshot(self, device_id: str,
+                          force: bool = False) -> Optional[dict]:
+        """The live replica's snapshot wire dict, or None for the
+        honest record-only rebuild.
+
+        A snapshot ships when the replica is known-mutated (see
+        :meth:`mark_mutated`) or *force* is set; unknown replicas
+        (a record without a live device) always fall back."""
+        device = self.devices.get(device_id)
+        if device is None:
+            return None
+        if not force and device_id not in self._mutated:
+            return None
+        return device.snapshot().to_dict()
 
     def _sync_replicas(self, version: int, payload: bytes):
         """Fast-forward parent replicas after a process-backend wave.
@@ -399,6 +432,15 @@ class FleetSimulation:
 
     # ---- fault injection -------------------------------------------------
 
+    def mark_mutated(self, device_id: str):
+        """Flag a replica whose state campaigns must ship verbatim.
+
+        The built-in fault hooks below call this themselves; external
+        code that mutates a device directly (fault campaigns, tests)
+        calls it so process-backend workers restore the true state
+        instead of rebuilding an honest device from the record."""
+        self._mutated.add(device_id)
+
     def forge_trace(self, device_id: str, src=0xE000, dst=0xE000, kind="jump"):
         """Fabricate a trace edge on one device without digest folding.
 
@@ -408,12 +450,14 @@ class FleetSimulation:
         the device with ``trace-forged``.
         """
         self.devices[device_id].trace.inject_edge(src, dst, kind)
+        self.mark_mutated(device_id)
 
     def corrupt_firmware(self, device_id: str, max_cycles=2_000):
         """Flip the first word of the resident app and run into the fault."""
         device = self.devices[device_id]
         main = device.symbol("main")
         device.bus.load_bytes(main, b"\x00\x00")  # illegal opcode
+        self.mark_mutated(device_id)
         device.hard_reset()
         device.run(max_cycles=max_cycles, stop_on_done=False)
 
@@ -464,7 +508,14 @@ def _run_shard(context: dict, record_docs: List[dict]) -> dict:
             record = record_from_dict(doc)
             device = build_device(program, security=context["security"],
                                   update_key=record.key)
-            device.update_engine.current_version = record.firmware_version
+            snapshot_doc = doc.get("device")
+            if snapshot_doc is not None:
+                # The parent shipped the replica's full state: restore
+                # it verbatim (adversarial mutations included).
+                device.restore(snapshot_doc)
+            else:
+                # Legacy/headless path: honest rebuild from the record.
+                device.update_engine.current_version = record.firmware_version
             link = transport.link(record.device_id)
             agent = DeviceAgent(record.device_id, device, link)
             session = VerifierSession(record, agent, link,

@@ -37,6 +37,7 @@ from typing import Dict, Optional
 
 from repro.casu.update import UpdateKey
 from repro.fleet.registry import DeviceRecord, FleetError, Lifecycle
+from repro.snapshot import WIRE_VERSION
 
 META_CLOCK = "clock"
 META_PACKAGES = "packages"  # version(str) -> {"target": int, "payload": hex}
@@ -47,8 +48,15 @@ META_FIRMWARE = "firmware"  # the FirmwareSpec dict the fleet was built on
 
 
 def record_to_dict(record: DeviceRecord) -> dict:
-    """A JSON-safe snapshot of one record (also the shard wire format)."""
+    """A JSON-safe snapshot of one record (also the shard wire format).
+
+    The ``codec`` field versions the wire format (shared with the
+    device-snapshot codec, :data:`repro.snapshot.WIRE_VERSION`):
+    a parent and a pool worker running different builds fail loudly in
+    :func:`record_from_dict` instead of misreading fields.
+    """
     return {
+        "codec": WIRE_VERSION,
         "device_id": record.device_id,
         "key": record.key.secret.hex(),
         "platform": record.platform,
@@ -69,6 +77,16 @@ def record_to_dict(record: DeviceRecord) -> dict:
 
 
 def record_from_dict(doc: dict) -> DeviceRecord:
+    # Docs that predate the codec field are grandfathered in (their
+    # layout is codec-1 compatible); an explicit mismatch -- a rolling
+    # upgrade where parent and worker builds disagree -- is an error,
+    # and a *clear* one rather than a KeyError three fields later.
+    codec = doc.get("codec", WIRE_VERSION)
+    if codec != WIRE_VERSION:
+        raise FleetError(
+            f"device record codec version {codec!r} is not supported by "
+            f"this build (expected {WIRE_VERSION}); parent and worker "
+            f"are running different versions")
     try:
         return DeviceRecord(
             device_id=doc["device_id"],

@@ -143,6 +143,24 @@ class Bus:
                 if aligned in self._dcache_index:
                     self._invalidate_code(aligned)
 
+    def restore_memory(self, baseline: bytes, delta) -> None:
+        """Replace the whole memory image (snapshot restore path).
+
+        A restore is an arbitrary mutation of every byte, so the entire
+        decoded-instruction cache is dropped -- the same contract as
+        self-modifying code, applied wholesale.  Cheaper and simpler
+        than per-word invalidation over a 64 KB diff, and ``reset()``
+        never refills stale entries because the cache is keyed by PC
+        over *current* memory.
+        """
+        from repro.snapshot import apply_memory_delta
+
+        if self._dcache is not None:
+            self._dcache.clear()
+        self._dcache_index.clear()
+        self._dcache_span.clear()
+        apply_memory_delta(self.mem, baseline, delta)
+
     def peek_word(self, addr):
         self._check(addr, 2)
         return self.mem[addr] | (self.mem[addr + 1] << 8)

@@ -73,6 +73,8 @@ EVENT_KINDS = (
     "campaign-end",
     "violation-delta",
     "alert",
+    "fault-inject",
+    "fault-outcome",
 )
 
 

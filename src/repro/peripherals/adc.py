@@ -83,3 +83,19 @@ class Adc(Peripheral):
     def reset(self):
         self.ctl = 0
         self.data = 0
+
+    def _snapshot_extra(self):
+        # Channel keys become strings through JSON; restore converts back.
+        return {
+            "ctl": self.ctl,
+            "data": self.data,
+            "sample_count": self.sample_count,
+            "channel_counts": {str(ch): n for ch, n in self.channel_counts.items()},
+        }
+
+    def _restore_extra(self, state):
+        self.ctl = state["ctl"]
+        self.data = state["data"]
+        self.sample_count = state["sample_count"]
+        self.channel_counts = {int(ch): n
+                               for ch, n in state["channel_counts"].items()}

@@ -63,6 +63,37 @@ class Peripheral:
         for attr in self._log_attrs:
             del getattr(self, attr)[state[attr]:]
 
+    # ---- full-state snapshot/restore (see repro.snapshot) ------------------
+    #
+    # Distinct from snapshot_logs/rollback_logs above: those mark log
+    # *positions* for single-step violation rollback; these capture the
+    # peripheral's complete mutable state as JSON types so a restored
+    # device resumes mid-transaction (latched reads, pending ticks, the
+    # DONE latch) without replaying or dropping events.  Construction-time
+    # configuration -- stimulus schedules, callables -- is NOT state: the
+    # restore target is built with the same configuration.
+
+    def snapshot_state(self):
+        state = {
+            "now": self.now,
+            "events": [[e.cycle, e.port, e.value] for e in self.events],
+        }
+        state.update(self._snapshot_extra())
+        return state
+
+    def restore_state(self, state):
+        self.now = state["now"]
+        self.events[:] = [IoEvent(cycle, port, value)
+                          for cycle, port, value in state["events"]]
+        self._restore_extra(state)
+
+    def _snapshot_extra(self):
+        """Subclass hook: additional mutable fields, JSON-safe."""
+        return {}
+
+    def _restore_extra(self, state):
+        """Subclass hook: adopt the fields _snapshot_extra captured."""
+
     def emit(self, port, value):
         self.events.append(IoEvent(self.now, port, value & 0xFFFF))
 

@@ -36,3 +36,10 @@ class Gpio(Peripheral):
     def reset(self):
         self.out = 0
         self.direction = 0
+
+    def _snapshot_extra(self):
+        return {"out": self.out, "direction": self.direction}
+
+    def _restore_extra(self, state):
+        self.out = state["out"]
+        self.direction = state["direction"]

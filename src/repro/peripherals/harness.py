@@ -51,3 +51,16 @@ class HarnessPorts(Peripheral):
         # done latches across reset so the harness can observe that the
         # workload finished before a late violation, if any.
         pass
+
+    def _snapshot_extra(self):
+        return {
+            "done": self.done,
+            "done_value": self.done_value,
+            "violation_writes": [list(pair) for pair in self.violation_writes],
+        }
+
+    def _restore_extra(self, state):
+        self.done = bool(state["done"])
+        self.done_value = state["done_value"]
+        self.violation_writes[:] = [tuple(pair)
+                                    for pair in state["violation_writes"]]

@@ -45,6 +45,18 @@ class Lcd(Peripheral):
     def reset(self):
         self.busy_until = 0
 
+    def _snapshot_extra(self):
+        return {
+            "busy_until": self.busy_until,
+            "command_log": [list(pair) for pair in self.command_log],
+            "data_log": [list(pair) for pair in self.data_log],
+        }
+
+    def _restore_extra(self, state):
+        self.busy_until = state["busy_until"]
+        self.command_log[:] = [tuple(pair) for pair in state["command_log"]]
+        self.data_log[:] = [tuple(pair) for pair in state["data_log"]]
+
     @property
     def display_bytes(self):
         return bytes(byte for _, byte in self.data_log)

@@ -50,3 +50,13 @@ class Timer(Peripheral):
         self.ctl = 0
         self.count = 0
         self.ccr = 0xFFFF
+
+    def _snapshot_extra(self):
+        return {"ctl": self.ctl, "count": self.count, "ccr": self.ccr,
+                "fire_count": self.fire_count}
+
+    def _restore_extra(self, state):
+        self.ctl = state["ctl"]
+        self.count = state["count"]
+        self.ccr = state["ccr"]
+        self.fire_count = state["fire_count"]

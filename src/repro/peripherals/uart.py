@@ -55,6 +55,20 @@ class Uart(Peripheral):
     def reset(self):
         self._rx_fifo.clear()
 
+    def _snapshot_extra(self):
+        return {
+            "rx_schedule": [list(pair) for pair in self._rx_schedule],
+            "rx_fifo": list(self._rx_fifo),
+            "rx_irq_enabled": self.rx_irq_enabled,
+            "tx_log": [list(pair) for pair in self.tx_log],
+        }
+
+    def _restore_extra(self, state):
+        self._rx_schedule = deque(tuple(pair) for pair in state["rx_schedule"])
+        self._rx_fifo = deque(state["rx_fifo"])
+        self.rx_irq_enabled = bool(state["rx_irq_enabled"])
+        self.tx_log[:] = [tuple(pair) for pair in state["tx_log"]]
+
     @property
     def tx_bytes(self):
         return bytes(byte for _, byte in self.tx_log)

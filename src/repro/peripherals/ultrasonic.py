@@ -49,3 +49,12 @@ class Ultrasonic(Peripheral):
     def reset(self):
         self.echo_start = None
         self.echo_end = None
+
+    def _snapshot_extra(self):
+        return {"echo_start": self.echo_start, "echo_end": self.echo_end,
+                "trigger_count": self.trigger_count}
+
+    def _restore_extra(self, state):
+        self.echo_start = state["echo_start"]
+        self.echo_end = state["echo_end"]
+        self.trigger_count = state["trigger_count"]

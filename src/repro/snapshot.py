@@ -1,0 +1,152 @@
+"""Portable device snapshots: a versioned, JSON-safe state codec.
+
+A :class:`DeviceSnapshot` captures *everything mutable* about a running
+:class:`repro.device.Device` -- CPU registers, the memory image as a
+delta against the loaded firmware, interrupt lines, every peripheral's
+latches and schedules, the branch-trace ring, the monitor's update
+session, the update engine's monotonic version, and the device event
+log -- in a plain dict of JSON types.  Restoring a snapshot into a
+freshly built device of the same program/security produces a device
+that executes **bit-identically** to the original (the lockstep
+differential tests in ``tests/test_snapshot.py`` are the contract).
+
+Two consumers:
+
+* the fleet layer ships snapshots through ``campaign.py``'s
+  process-shard wire format, so pool workers resurrect *arbitrary*
+  (including adversarially mutated) device state instead of rebuilding
+  honest devices from registry records;
+* the fault-injection campaigns (:mod:`repro.faults`) snapshot an
+  honest device once, then restore+mutate per fault site.
+
+Versioning: every wire document carries ``{"codec": WIRE_VERSION}``.
+The fleet record codec (:mod:`repro.fleet.store`) shares the same
+constant, so a rolling upgrade where parent and workers disagree fails
+loudly (:class:`SnapshotError` / ``FleetError``) instead of
+misinterpreting fields.
+
+Restore and the decode cache: restoring a memory image is an arbitrary
+memory mutation, so :meth:`repro.memory.bus.Bus.restore_memory` drops
+the *entire* decoded-instruction cache -- the same contract as
+self-modifying code, just wholesale (see :mod:`repro.cpu.core`).
+"""
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+
+# Version of both the snapshot codec and the fleet process-shard record
+# codec (repro.fleet.store imports this).  Bump on any incompatible
+# change to either wire form.
+WIRE_VERSION = 1
+
+# Memory deltas are emitted per fixed-size page: cheap to diff with
+# slice compares, compact for the near-empty deltas of idle devices.
+PAGE_SIZE = 256
+
+
+class SnapshotError(ReproError):
+    """Raised for malformed, mismatched, or wrong-version snapshots."""
+
+
+def check_wire_version(doc: Dict[str, Any], what: str = "snapshot") -> None:
+    """Reject documents from a different codec generation.
+
+    A missing field is rejected too: every writer since the field was
+    introduced stamps it, so absence means "not a {what} document".
+    """
+    if not isinstance(doc, dict):
+        raise SnapshotError(f"{what} must be a dict, got {type(doc).__name__}")
+    got = doc.get("codec")
+    if got != WIRE_VERSION:
+        raise SnapshotError(
+            f"{what} codec version mismatch: expected {WIRE_VERSION}, "
+            f"got {got!r} (parent and worker builds out of sync?)")
+
+
+def memory_delta(mem, baseline) -> list:
+    """Pages of *mem* that differ from *baseline*, as ``[addr, hex]``.
+
+    The common case -- snapshotting right after build, or a firmware
+    that never self-modifies -- compares whole pages at C speed and
+    emits nothing for untouched ones.
+    """
+    if bytes(mem) == baseline:
+        return []
+    delta = []
+    view = memoryview(mem)
+    base = memoryview(baseline)
+    for start in range(0, len(mem), PAGE_SIZE):
+        page = view[start:start + PAGE_SIZE]
+        if page != base[start:start + PAGE_SIZE]:
+            delta.append([start, bytes(page).hex()])
+    return delta
+
+
+def apply_memory_delta(mem, baseline, delta) -> None:
+    """Rebuild *mem* in place: baseline image plus differing pages."""
+    mem[:] = baseline
+    for entry in delta:
+        try:
+            start, data = entry
+            payload = bytes.fromhex(data)
+        except (TypeError, ValueError) as error:
+            raise SnapshotError(f"malformed memory delta entry: {error}")
+        if not 0 <= start <= len(mem) - len(payload):
+            raise SnapshotError(
+                f"memory delta page at 0x{start:04x} outside address space")
+        mem[start:start + len(payload)] = payload
+
+
+class DeviceSnapshot:
+    """A captured device state with a dict/JSON wire form.
+
+    Thin immutable wrapper over the wire dict; :meth:`from_dict` /
+    :meth:`from_json` validate the codec version at the boundary so a
+    mismatched document never reaches ``Device.restore``.
+    """
+
+    __slots__ = ("_doc",)
+
+    def __init__(self, doc: Dict[str, Any]):
+        check_wire_version(doc, "device snapshot")
+        self._doc = doc
+
+    # -- wire form ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self._doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "DeviceSnapshot":
+        return cls(doc)
+
+    def to_json(self) -> str:
+        return json.dumps(self._doc, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DeviceSnapshot":
+        try:
+            doc = json.loads(text)
+        except ValueError as error:
+            raise SnapshotError(f"snapshot is not valid JSON: {error}")
+        return cls(doc)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def program_name(self) -> Optional[str]:
+        return self._doc.get("program")
+
+    @property
+    def security(self) -> Optional[str]:
+        return self._doc.get("security")
+
+    @property
+    def cycle(self) -> int:
+        return self._doc.get("cycle", 0)
+
+    def __repr__(self):
+        return (f"DeviceSnapshot(program={self.program_name!r}, "
+                f"security={self.security!r}, cycle={self.cycle})")

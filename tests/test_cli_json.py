@@ -32,6 +32,9 @@ EVERY_SUBCOMMAND = [
     (["cfg", "build", "light_sensor"], "eilid.cfg.policy"),
     (["cfg", "diff", "light_sensor"], "eilid.cli.cfg-diff"),
     (["cfg", "verify-trace", "light_sensor"], "eilid.verify"),
+    (["faults", "enumerate", "light_sensor"], "eilid.cli.faults-enumerate"),
+    (["faults", "sweep", "light_sensor", "--count", "2",
+      "--profiles", "none"], "eilid.cli.faults-sweep"),
     (["fleet", "enroll", "--devices", "5"], "eilid.cli.fleet-enroll"),
     (["fleet", "status", "--devices", "5"], "eilid.attest"),
     (["fleet", "rollout", "--devices", "5"], "eilid.run"),

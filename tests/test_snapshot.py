@@ -1,0 +1,226 @@
+"""Differential tests: snapshot/restore vs. uninterrupted execution.
+
+A :meth:`Device.snapshot` / :meth:`Device.restore` cycle must be
+architecturally invisible: a device that is periodically checkpointed
+through the JSON wire form and resumed on a *fresh* device must produce
+bit-identical StepRecords, monitor verdicts, cycle totals, trace
+digests and attestation evidence against a reference device that never
+stopped.  These tests run that lockstep for every Table IV application
+and every control-flow attack, then check the restore-side decode-cache
+invalidation contract against self-modifying code and the wire-form
+rejection rules (codec / program / security mismatches).
+"""
+
+import json
+
+import pytest
+
+from repro.apps.registry import APPS, TABLE_IV_ORDER
+from repro.attacks import (
+    code_injection,
+    interrupt_context_tamper,
+    pointer_hijack,
+    return_address_smash,
+)
+from repro.attacks.victims import build_victim
+from repro.device import build_device
+from repro.snapshot import DeviceSnapshot, SnapshotError
+from repro.toolchain import link, parse_source
+
+# Enough steps to cover startup + main loop; each run round-trips the
+# device through the wire form several times mid-flight.
+LOCKSTEP_STEPS = 12_000
+CHECKPOINT_EVERY = 3_000
+CONTINUATION_STEPS = 200
+
+ATTACKS = {
+    "code_injection": code_injection,
+    "return_address_smash": return_address_smash,
+    "pointer_hijack": pointer_hijack,
+    "interrupt_context_tamper": interrupt_context_tamper,
+}
+
+
+def checkpointed_lockstep(program, security, make_peripherals,
+                          max_steps=LOCKSTEP_STEPS,
+                          checkpoint_every=CHECKPOINT_EVERY):
+    """Step a continuous and a checkpointed device in lockstep.
+
+    Every ``checkpoint_every`` steps the checkpointed device is
+    serialised to JSON, discarded, and replaced by a fresh build that
+    restores the snapshot -- every StepRecord (kind, PCs, cycles,
+    instruction, access stream) and monitor verdict must still match.
+    """
+    reference = build_device(program, security=security,
+                             peripherals=make_peripherals())
+    live = build_device(program, security=security,
+                        peripherals=make_peripherals())
+    restores = 0
+    for step in range(max_steps):
+        if step and step % checkpoint_every == 0:
+            wire = live.snapshot().to_json()
+            live = build_device(program, security=security,
+                                peripherals=make_peripherals())
+            live.restore(DeviceSnapshot.from_json(wire))
+            restores += 1
+        record_r, violation_r = reference.step()
+        record_l, violation_l = live.step()
+        assert record_r == record_l, f"step {step} diverged"
+        assert violation_r == violation_l, f"step {step} verdict diverged"
+        if reference.harness.done:
+            break
+    assert restores > 0 or reference.harness.done
+    assert reference.cycle == live.cycle
+    assert reference.cpu.total_cycles == live.cpu.total_cycles
+    assert reference.cpu.instruction_count == live.cpu.instruction_count
+    assert reference.cpu.regs == live.cpu.regs
+    assert reference.harness.done == live.harness.done
+    assert reference.harness.done_value == live.harness.done_value
+    assert reference.reset_count == live.reset_count
+    assert reference.trace_snapshot() == live.trace_snapshot()
+    assert reference.firmware_measurement() == live.firmware_measurement()
+    assert reference.attestation_report() == live.attestation_report()
+    return reference, live
+
+
+@pytest.mark.parametrize("name", TABLE_IV_ORDER)
+def test_table4_app_original_is_snapshot_invariant(name, app_builds):
+    spec = APPS[name]
+    original, _ = app_builds[name]
+    checkpointed_lockstep(original.program, "none", spec.make_peripherals)
+
+
+@pytest.mark.parametrize("name", TABLE_IV_ORDER)
+def test_table4_app_eilid_is_snapshot_invariant(name, app_builds):
+    spec = APPS[name]
+    _, eilid = app_builds[name]
+    checkpointed_lockstep(eilid.final.program, "eilid",
+                          spec.make_peripherals)
+
+
+# ---- attack traces -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("attack_name", sorted(ATTACKS))
+@pytest.mark.parametrize("security", ["none", "eilid"])
+def test_attack_state_survives_snapshot(attack_name, security):
+    """Restore an attacked device -- violations, trace evidence and all
+    -- into a fresh victim and keep stepping both in lockstep."""
+    result = ATTACKS[attack_name](security)
+    attacked = result.device
+    wire = attacked.snapshot().to_json()
+
+    fresh, _ = build_victim(security)
+    fresh.restore(DeviceSnapshot.from_json(wire))
+
+    # Re-snapshotting the restored device reproduces the wire form:
+    # nothing was dropped, defaulted or replayed on the way through.
+    assert fresh.snapshot().to_dict() == json.loads(wire)
+    assert fresh.cycle == attacked.cycle
+    assert fresh.reset_count == attacked.reset_count
+    assert fresh.violation_count == attacked.violation_count
+    assert fresh.cpu.regs == attacked.cpu.regs
+    assert fresh.trace_snapshot() == attacked.trace_snapshot()
+    assert fresh.attestation_report() == attacked.attestation_report()
+
+    for step in range(CONTINUATION_STEPS):
+        record_a, violation_a = attacked.step()
+        record_f, violation_f = fresh.step()
+        assert record_a == record_f, f"post-restore step {step} diverged"
+        assert violation_a == violation_f
+
+
+# ---- self-modifying code vs. the decode cache --------------------------------
+
+
+_SMC_SOURCE = """    .text
+__start:
+    mov #0x0a00, r1
+target:
+    mov #0x1111, r11
+end:
+    jmp end
+    .vector 15, __start
+"""
+
+
+def _smc_device():
+    program = link([parse_source(_SMC_SOURCE, "smc.s")], name="smc")
+    device = build_device(program, security="none")
+    device.run_steps(2)  # execute `target`, warming its decode-cache entry
+    assert device.cpu.get_reg(11) == 0x1111
+    return device, program
+
+
+def test_restore_after_smc_write_drops_stale_decodes():
+    """A snapshot taken after self-modifying code overwrote an already
+    decoded instruction must not resume through the stale decode."""
+    device_a, program = _smc_device()
+    target = program.symbols["target"]
+    assert target in device_a.cpu._dcache
+
+    # Self-modifying write: patch the immediate word of the decoded
+    # instruction, then point the PC back at it.
+    device_a.bus.poke_word(target + 2, 0x2222)
+    device_a.cpu.set_reg(0, target)
+    wire = device_a.snapshot().to_json()
+
+    # The restore target has the *stale* instruction warm in its cache.
+    device_b, _ = _smc_device()
+    assert target in device_b.cpu._dcache
+    device_b.restore(DeviceSnapshot.from_json(wire))
+    assert target not in device_b.cpu._dcache  # restore invalidated it
+
+    record_a, _ = device_a.step()
+    record_b, _ = device_b.step()
+    assert record_a == record_b
+    assert record_b.insn.render() == "mov #0x2222, r11"
+    assert device_b.cpu.get_reg(11) == 0x2222
+
+
+# ---- wire-form rejection rules -----------------------------------------------
+
+
+def _light_sensor_device(app_builds, security="none"):
+    original, _ = app_builds["light_sensor"]
+    spec = APPS["light_sensor"]
+    return build_device(original.program, security=security,
+                        peripherals=spec.make_peripherals())
+
+
+def test_codec_version_mismatch_is_rejected(app_builds):
+    device = _light_sensor_device(app_builds)
+    doc = device.snapshot().to_dict()
+    doc["codec"] = 999
+    with pytest.raises(SnapshotError, match="codec"):
+        DeviceSnapshot.from_dict(doc)
+    with pytest.raises(SnapshotError, match="codec"):
+        device.restore(doc)
+
+
+def test_program_mismatch_is_rejected(app_builds):
+    device = _light_sensor_device(app_builds)
+    other_build, _ = app_builds["fire_sensor"]
+    other = build_device(other_build.program, security="none",
+                         peripherals=APPS["fire_sensor"].make_peripherals())
+    with pytest.raises(SnapshotError, match="program"):
+        other.restore(device.snapshot())
+
+
+def test_security_mismatch_is_rejected(app_builds):
+    device = _light_sensor_device(app_builds, security="none")
+    hardened = _light_sensor_device(app_builds, security="casu")
+    with pytest.raises(SnapshotError, match="security"):
+        hardened.restore(device.snapshot())
+
+
+def test_json_round_trip_is_lossless(app_builds):
+    device = _light_sensor_device(app_builds)
+    device.run_steps(500)
+    snapshot = device.snapshot()
+    doc = snapshot.to_dict()
+    assert DeviceSnapshot.from_json(snapshot.to_json()).to_dict() == doc
+    assert doc["codec"] == 1
+    assert doc["program"] == device.program.name
+    # Wire form is pure JSON: a strict dump round-trips losslessly.
+    assert json.loads(json.dumps(doc)) == doc
