@@ -515,7 +515,15 @@ def _cmd_fleet_enroll(args):
     return EXIT_SECURITY if failed else EXIT_OK
 
 
+def _fleet_client(url):
+    from repro.serve import FleetClient
+
+    return FleetClient(url)
+
+
 def _cmd_fleet_status(args):
+    if getattr(args, "url", None):
+        return _fleet_status_url(args)
     session = _fleet_session(args)
     session.run()
     attest = session.attest()
@@ -532,6 +540,52 @@ def _cmd_fleet_status(args):
     else:
         print(session.fleet.status())
     return EXIT_OK if attest.ok else EXIT_SECURITY
+
+
+def _fleet_status_url(args):
+    """Ask a running serve daemon instead of opening the store --
+    the daemon already holds the SQLite writers; a second process
+    opening the same shards would contend with it."""
+    from repro.serve import ServeError
+
+    client = _fleet_client(args.url)
+    try:
+        status = client.status()
+    except (ConnectionError, OSError, ServeError) as error:
+        raise _UsageError(
+            f"cannot reach a serve daemon at {args.url!r}: {error}"
+        ) from None
+    attest = None
+    try:
+        attest = client.attest()
+    except ServeError as error:
+        if error.status != 409:  # 409: a campaign holds the fleet
+            raise _UsageError(f"daemon attest failed: {error}") from None
+    if args.json:
+        doc = dict(attest) if attest is not None else {}
+        doc["daemon"] = status
+        doc.setdefault("schema", "eilid.serve.status")
+        doc.setdefault("version", status.get("version", 1))
+        _print_json(doc)
+    else:
+        states = ", ".join(f"{state}: {count}" for state, count
+                           in sorted(status["states"].items()))
+        print(f"daemon at {status['url']}: {status['devices']} devices "
+              f"({states}); store {status['store']['backend']} x"
+              f"{status['store']['shards']}")
+        if attest is None:
+            running = [cid for cid, entry in status["campaigns"].items()
+                       if entry["running"]]
+            print(f"attest skipped: campaign "
+                  f"{', '.join(running) or '?'} in flight")
+        else:
+            print(f"attested {attest['attested']} devices, "
+                  f"{len(attest['failed'])} failures")
+            for failure in attest["failed"]:
+                print(f"  {failure['device']}: {failure['detail']} "
+                      f"-> {failure['state']}")
+    return EXIT_SECURITY if attest is not None and not attest["ok"] \
+        else EXIT_OK
 
 
 def _event_line(event: dict) -> str:
@@ -669,12 +723,52 @@ def _watch_line(doc: dict) -> str:
             f"{_event_line(doc)}")
 
 
+def _fleet_watch_url(args):
+    """Stream the event log from a running daemon (GET /events) --
+    same lines, same exit contract as the file-tail path, without
+    touching the daemon's store or event DB files."""
+    import socket
+
+    from repro.serve import ServeError
+
+    client = _fleet_client(args.url)
+    streamed = alerts = last_seq = 0
+    try:
+        stream = client.events(since=args.since, follow=args.follow,
+                               timeout=args.timeout or None)
+        for doc in stream:
+            streamed += 1
+            last_seq = doc["seq"]
+            if doc["kind"] == "alert":
+                alerts += 1
+            if args.json:
+                print(json.dumps(doc, sort_keys=True), flush=True)
+            else:
+                print(_watch_line(doc), flush=True)
+            if args.until_end and doc["kind"] == "campaign-end":
+                break
+    except (socket.timeout, TimeoutError):
+        pass  # --timeout expired between events; what streamed counts
+    except (ConnectionError, OSError, ServeError) as error:
+        raise _UsageError(
+            f"cannot stream from a serve daemon at {args.url!r}: {error}"
+        ) from None
+    except KeyboardInterrupt:
+        pass
+    if not args.json:
+        print(f"-- {streamed} events (through seq {last_seq}), "
+              f"{alerts} alerts")
+    return EXIT_SECURITY if alerts else EXIT_OK
+
+
 def _cmd_fleet_watch(args):
     import os
     import time
 
     from repro.obs import open_event_tail
 
+    if getattr(args, "url", None):
+        return _fleet_watch_url(args)
     path = args.events
     if not path:
         raise _UsageError("fleet watch needs --events PATH (the event DB a "
@@ -800,6 +894,79 @@ def _cmd_fleet_metrics(args):
         print(to_prometheus(snapshot), end="")
     else:
         _print_json(to_json_doc(snapshot, source=source))
+    return EXIT_OK
+
+
+# ---- serve -----------------------------------------------------------------
+
+
+def _cmd_serve_run(args):
+    """Run the fleet control-plane daemon until SIGTERM/SIGINT.
+
+    Exit contract: 0 after a graceful shutdown (in-flight exchanges
+    drained, every shard store and the event log flushed), 1 on usage
+    errors (bad flags, unbindable port).  A campaign stopped by the
+    shutdown is not an error -- it resumes with ``fleet rollout
+    --resume`` against the same shards.
+    """
+    import asyncio
+    import gc
+
+    from repro.api import envelope
+    from repro.fleet.simulation import FleetSimulation
+    from repro.serve import VerifierDaemon, open_sharded_store
+
+    store = open_sharded_store(args.store_shard)
+    # Building a large fleet allocates one simulated device per record
+    # with zero garbage; collector passes over the growing heap only
+    # slow the build down.  Freeze what the build allocated afterwards
+    # so steady-state collections skip it too.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        fleet = FleetSimulation(
+            size=args.devices, security=args.security, loss=args.loss,
+            reorder=args.reorder, seed=args.seed, store=store,
+            events=args.events, alerts=_alerts_config(args))
+    except ValueError as error:  # negative --devices, loss outside [0,1]
+        store.close()
+        raise _UsageError(str(error)) from None
+    finally:
+        gc.freeze()
+        if gc_was_enabled:
+            gc.enable()
+    daemon = VerifierDaemon(fleet, host=args.host, port=args.port,
+                            max_workers=args.workers)
+
+    def ready(d):
+        # The readiness line is a contract: subprocess drivers (the
+        # demo, tests) block on it to learn the bound port.  Flush
+        # explicitly -- stdout is block-buffered under a pipe.
+        if args.json:
+            print(json.dumps(envelope(
+                "serve.ready", url=d.url, host=d.host, port=d.port,
+                devices=len(fleet.registry),
+                shards=len(getattr(store, "stores", [store]))),
+                sort_keys=True), flush=True)
+        else:
+            print(f"serving {len(fleet.registry)} devices at {d.url} "
+                  f"(SIGTERM for graceful shutdown)", flush=True)
+
+    try:
+        asyncio.run(daemon.run(ready=ready))
+    except OSError as error:
+        raise _UsageError(
+            f"cannot bind {args.host}:{args.port}: {error}") from None
+    finally:
+        store.close()
+        if fleet.events is not None:
+            fleet.events.close()
+    if args.json:
+        print(json.dumps(envelope("serve.shutdown", ok=True,
+                                  devices=len(fleet.registry)),
+                         sort_keys=True), flush=True)
+    else:
+        print("shutdown: drained, flushed, stores closed", flush=True)
     return EXIT_OK
 
 
@@ -965,6 +1132,10 @@ def main(argv=None):
     p_status = fleet_sub.add_parser("status",
                                     help="run, attest, and print telemetry")
     fleet_common(p_status)
+    p_status.add_argument("--url", default=None, metavar="URL",
+                          help="query a running 'serve run' daemon instead "
+                               "of opening the store (avoids contending "
+                               "with its SQLite writers)")
     p_status.set_defaults(func=_cmd_fleet_status)
 
     p_rollout = fleet_sub.add_parser("rollout", help="staged firmware rollout")
@@ -1029,6 +1200,10 @@ def main(argv=None):
                               "event streams past")
     p_watch.add_argument("--json", action="store_true",
                          help="stream one JSON document per event (JSONL)")
+    p_watch.add_argument("--url", default=None, metavar="URL",
+                         help="stream GET /events from a running 'serve "
+                              "run' daemon instead of tailing the event "
+                              "DB file")
     p_watch.set_defaults(func=_cmd_fleet_watch)
 
     p_alerts = fleet_sub.add_parser(
@@ -1057,6 +1232,46 @@ def main(argv=None):
                            default="prom",
                            help="exposition format (--json forces json)")
     p_metrics.set_defaults(func=_cmd_fleet_metrics)
+
+    p_serve = sub.add_parser(
+        "serve", help="fleet control plane: HTTP/JSON verifier daemon")
+    serve_sub = p_serve.add_subparsers(dest="serve_command", required=True)
+
+    p_serve_run = serve_sub.add_parser(
+        "run", help="serve enroll/attest/rollout + streaming status")
+    p_serve_run.add_argument("--devices", type=int, default=100,
+                             help="fleet size to build (existing shard "
+                                  "records are restored, not re-enrolled)")
+    p_serve_run.add_argument("--security", choices=("none", "casu", "eilid"),
+                             default="casu")
+    p_serve_run.add_argument("--loss", type=float, default=0.0,
+                             help="per-message drop probability")
+    p_serve_run.add_argument("--reorder", type=float, default=0.0,
+                             help="per-message reorder probability")
+    p_serve_run.add_argument("--seed", type=int, default=0)
+    p_serve_run.add_argument("--store-shard", action="append", default=None,
+                             metavar="PATH", dest="store_shard",
+                             help="one durable registry shard (repeatable; "
+                                  "same suffix dispatch as --store; two or "
+                                  "more shards route device ids through a "
+                                  "consistent-hash ring)")
+    p_serve_run.add_argument("--events", default=None, metavar="PATH",
+                             help="durable event DB backing the streaming "
+                                  "endpoints and fleet history")
+    p_serve_run.add_argument("--host", default="127.0.0.1")
+    p_serve_run.add_argument("--port", type=int, default=0,
+                             help="listen port (0 picks an ephemeral one, "
+                                  "announced on the readiness line)")
+    p_serve_run.add_argument("--workers", type=int, default=0,
+                             help="protocol executor threads (0 = auto)")
+    p_serve_run.add_argument("--alerts", action="store_true",
+                             help="attach the default alert-rule panel")
+    p_serve_run.add_argument("--alert", action="append",
+                             metavar="NAME=THRESHOLD",
+                             help="attach one alert rule with a custom "
+                                  "threshold (repeatable)")
+    add_json(p_serve_run)
+    p_serve_run.set_defaults(func=_cmd_serve_run)
 
     try:
         args = parser.parse_args(argv)

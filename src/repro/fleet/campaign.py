@@ -112,6 +112,10 @@ class CampaignStatus(enum.Enum):
     COMPLETE = "complete"
     HALTED = "halted"
     EMPTY = "empty"
+    # A cooperative stop (daemon shutdown) observed at a wave boundary:
+    # unlike HALTED nothing went wrong -- the flushed waves are durable
+    # and ``run(resume=True)`` finishes the remainder.
+    STOPPED = "stopped"
 
 
 @dataclass
@@ -165,6 +169,10 @@ class CampaignReport:
     @property
     def halted(self):
         return self.status is CampaignStatus.HALTED
+
+    @property
+    def stopped(self):
+        return self.status is CampaignStatus.STOPPED
 
     @property
     def offered(self):
@@ -222,7 +230,8 @@ class RolloutCampaign:
                  telemetry=None,
                  shard_task: Optional[Tuple[Callable, dict]] = None,
                  snapshot_factory: Optional[Callable[[str], Optional[dict]]] = None,
-                 post_wave_merge: Optional[Callable[[], None]] = None):
+                 post_wave_merge: Optional[Callable[[], None]] = None,
+                 stop=None):
         self.registry = registry
         self.session_factory = session_factory
         self.package_factory = package_factory
@@ -243,6 +252,12 @@ class RolloutCampaign:
         # backend attests the *updated* device image, not a stale
         # parent replica (which would roll merged records back).
         self.post_wave_merge = post_wave_merge
+        # Cooperative stop signal (anything with ``is_set()``, usually
+        # a ``threading.Event``): checked only at wave boundaries, so a
+        # stop never tears a wave -- every offered wave still reaches
+        # its wave-commit event and durability flush, which is exactly
+        # the state ``run(resume=True)`` continues from.
+        self.stop = stop
         # Event-log campaign tag: minted from the registry's event log
         # at run() start; every offer/wave/quarantine event this
         # campaign produces carries it, which is what makes the
@@ -303,6 +318,11 @@ class RolloutCampaign:
         with METRICS.span("campaign.run"), \
                 pool_cls(max_workers=self.config.effective_workers) as pool:
             for index, wave in enumerate(waves, start=1):
+                if self.stop is not None and self.stop.is_set():
+                    status = CampaignStatus.STOPPED
+                    halt_reason = (f"stop requested before wave {index} "
+                                   f"(resume to finish)")
+                    break
                 wave_result = self._run_wave(index, wave, pool)
                 results.append(wave_result)
                 applied += wave_result.applied

@@ -315,14 +315,18 @@ class FleetSimulation:
                 config: Optional[CampaignConfig] = None,
                 tamper_fraction=0.0, rollback_fraction=0.0,
                 resume: bool = False,
-                device_ids: Optional[Sequence[str]] = None) -> CampaignReport:
+                device_ids: Optional[Sequence[str]] = None,
+                stop=None) -> CampaignReport:
         """Run one staged campaign across the manageable fleet.
 
         *resume* skips devices whose (durable) record already shows
         *version* -- the continuation path after a killed campaign.
         With ``config.backend == "process"`` the waves execute on a
         process pool (see :func:`_run_shard`).  *device_ids* targets a
-        subset instead of every manageable device.
+        subset instead of every manageable device.  *stop* is a
+        cooperative stop signal (``threading.Event``-like) the campaign
+        checks at wave boundaries -- the serve daemon's graceful
+        shutdown path; a stopped campaign resumes with ``resume=True``.
         """
         config = config or CampaignConfig()
         payload = payload if payload is not None else default_payload(version)
@@ -394,6 +398,7 @@ class FleetSimulation:
             post_wave_merge=(
                 (lambda: self._sync_replicas(version, payload))
                 if config.backend == "process" else None),
+            stop=stop,
         )
         return campaign.run(device_ids=device_ids, resume=resume)
 

@@ -1,0 +1,27 @@
+"""The fleet control plane: async verifier daemon + client + shards.
+
+``serve`` turns the synchronous library/CLI verifier into a
+long-running service: an asyncio daemon
+(:class:`~repro.serve.daemon.VerifierDaemon`) pumps many device
+conversations concurrently over the existing HMAC protocol, exposes
+enroll/attest/rollout plus streaming campaign status over HTTP/JSON,
+and persists through N sharded durable stores
+(:class:`~repro.serve.shard.ShardedStore`).  Everything is stdlib.
+"""
+
+from repro.serve.client import FleetClient, ServeError
+from repro.serve.daemon import DaemonThread, VerifierDaemon
+from repro.serve.pump import AsyncFleetPump, PumpBusy
+from repro.serve.shard import ShardedStore, ShardRouter, open_sharded_store
+
+__all__ = [
+    "AsyncFleetPump",
+    "DaemonThread",
+    "FleetClient",
+    "PumpBusy",
+    "ServeError",
+    "ShardRouter",
+    "ShardedStore",
+    "VerifierDaemon",
+    "open_sharded_store",
+]

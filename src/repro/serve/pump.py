@@ -1,0 +1,236 @@
+"""Async session layer: interleave HMAC exchanges on one event loop.
+
+The protocol layer (:mod:`repro.fleet.protocol`) is synchronous and
+per-device stateful -- a ``VerifierSession`` draws nonces from its
+record and must never run two exchanges for the *same* device at
+once, but exchanges for *different* devices are independent (the
+thread-backend campaign already exploits this).  The pump lifts that
+contract onto asyncio:
+
+* every device gets an ``asyncio.Lock``, so per-device ordering is
+  preserved no matter how many HTTP requests target it;
+* the blocking exchange itself runs on a small thread pool via
+  ``run_in_executor`` (HMAC/SHA release the GIL inside hashlib), so
+  thousands of device conversations interleave on one loop;
+* registry/store flushes batch at durability points: one ``flush()``
+  per attest *request* (after its whole gather), never per device --
+  the same rule ``attest_all`` and the campaign's per-wave flush
+  follow.
+
+Rollouts keep their wave semantics by running the existing
+``RolloutCampaign`` on an executor thread, exclusively: while a
+campaign is in flight new attest/enroll calls are refused (409 at the
+HTTP layer) rather than silently interleaved with campaign offers,
+and the campaign id is captured from the event bus the moment
+``campaign-start`` is published, so the HTTP response can return it
+while the waves are still rolling.
+"""
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from repro.fleet.campaign import CampaignConfig
+
+
+class PumpBusy(RuntimeError):
+    """A rollout holds the fleet exclusively; retry after campaign-end."""
+
+
+class AsyncFleetPump:
+    """Drive one :class:`~repro.fleet.simulation.FleetSimulation`
+    concurrently from an event loop.  Not thread-safe itself: call it
+    only from the loop that created it."""
+
+    def __init__(self, fleet, max_workers: int = 0):
+        self.fleet = fleet
+        import os
+        self.executor = ThreadPoolExecutor(
+            max_workers=max_workers or min(8, (os.cpu_count() or 1) + 2),
+            thread_name_prefix="serve-pump")
+        self._device_locks: Dict[str, asyncio.Lock] = {}
+        self._enroll_lock = asyncio.Lock()
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        # One cooperative stop event for the lifetime of the pump: set
+        # by graceful shutdown, observed by the running campaign at its
+        # next wave boundary (flushed waves stay durable; the rest
+        # resumes later with resume=True).
+        self.campaign_stop = threading.Event()
+        self._campaign_future: Optional[asyncio.Future] = None
+        self._campaign_id: Optional[str] = None
+
+    # ---- bookkeeping -----------------------------------------------------
+
+    def _enter(self):
+        self._inflight += 1
+        self._idle.clear()
+
+    def _exit(self):
+        self._inflight -= 1
+        if self._inflight == 0:
+            self._idle.set()
+
+    @property
+    def campaign_running(self) -> bool:
+        future = self._campaign_future
+        return future is not None and not future.done()
+
+    @property
+    def campaign_future(self) -> Optional[asyncio.Future]:
+        return self._campaign_future
+
+    def _check_free(self):
+        if self.campaign_running:
+            raise PumpBusy(
+                f"campaign {self._campaign_id or '?'} is in flight; the "
+                f"fleet is exclusive to it until campaign-end")
+
+    def _lock_for(self, device_id: str) -> asyncio.Lock:
+        lock = self._device_locks.get(device_id)
+        if lock is None:
+            lock = self._device_locks[device_id] = asyncio.Lock()
+        return lock
+
+    async def _run_blocking(self, func, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            self.executor, func, *args)
+
+    # ---- fleet operations ------------------------------------------------
+
+    async def attest_one(self, device_id: str):
+        """One heartbeat, ordered per device, protocol work off-loop."""
+        self._check_free()
+        self._enter()
+        try:
+            async with self._lock_for(device_id):
+                return await self._run_blocking(self._attest_sync, device_id)
+        finally:
+            self._exit()
+
+    def _attest_sync(self, device_id: str):
+        result = self.fleet.session(device_id).attest()
+        record = self.fleet.registry.get(device_id)
+        self.fleet.registry.save(record)
+        return result, record
+
+    async def attest(self, device_ids: Optional[Sequence[str]] = None
+                     ) -> List[dict]:
+        """Concurrent sweep; ONE flush after the gather (durability
+        point), mirroring the sync ``attest_all`` batch rule."""
+        self._check_free()
+        ids = (list(device_ids) if device_ids is not None
+               else self.fleet.registry.ids())
+        unknown = [i for i in ids if i not in self.fleet.agents]
+        if unknown:
+            raise KeyError(f"no simulated device for {unknown[0]!r}")
+        outcomes = await asyncio.gather(
+            *(self.attest_one(device_id) for device_id in ids))
+        await self._run_blocking(self.fleet.registry.flush)
+        return [
+            {"device": device_id, "ok": result.ok, "detail": result.detail,
+             "attempts": result.attempts, "state": record.state.value,
+             "nonce_high_water": record.nonce_high_water}
+            for device_id, (result, record) in zip(ids, outcomes)
+        ]
+
+    async def enroll(self, count: int = 0,
+                     device_ids: Optional[Sequence[str]] = None
+                     ) -> List[dict]:
+        """Enroll new devices (serialised: enrollment builds a full
+        simulated device and mutates fleet-wide tables)."""
+        self._check_free()
+        self._enter()
+        try:
+            async with self._enroll_lock:
+                return await self._run_blocking(
+                    self._enroll_sync, count, device_ids)
+        finally:
+            self._exit()
+
+    def _enroll_sync(self, count, device_ids) -> List[dict]:
+        registry = self.fleet.registry
+        if device_ids:
+            results = [(device_id, self.fleet.enroll(device_id))
+                       for device_id in device_ids]
+            registry.flush()
+        else:
+            start = len(registry)
+            enrolls = self.fleet.enroll_many(count)
+            results = [(f"dev-{start + index:05d}", result)
+                       for index, result in enumerate(enrolls)]
+        return [{"device": device_id, "ok": result.ok,
+                 "detail": result.detail} for device_id, result in results]
+
+    async def start_rollout(self, version: int,
+                            config: Optional[CampaignConfig] = None,
+                            resume: bool = False,
+                            device_ids: Optional[Sequence[str]] = None):
+        """Launch a campaign on an executor thread; return
+        ``(campaign_id, future)`` as soon as the id is minted.
+
+        The id is published on the event bus (``campaign-start``)
+        before the first wave runs; an empty campaign never mints one,
+        so the wait also resolves when the campaign future completes.
+        """
+        self._check_free()
+        # Exchanges already in flight finish first: a campaign must see
+        # every record at rest, same as the sync path.
+        await self._idle.wait()
+        loop = asyncio.get_running_loop()
+        started = loop.create_future()
+
+        def _capture(doc):
+            if not started.done():
+                loop.call_soon_threadsafe(
+                    lambda: started.done() or started.set_result(
+                        doc["campaign"]))
+
+        subscription = self.fleet.events.bus.subscribe(
+            _capture, kinds=("campaign-start",))
+        self._campaign_id = None
+        future = self._campaign_future = asyncio.ensure_future(
+            self._run_blocking(
+                self.fleet.rollout, version, None, config, 0.0, 0.0,
+                resume, device_ids, self.campaign_stop))
+
+        def _unsubscribe(_):
+            self.fleet.events.bus.unsubscribe(subscription)
+
+        future.add_done_callback(_unsubscribe)
+        await asyncio.wait({started, future},
+                           return_when=asyncio.FIRST_COMPLETED)
+        if started.done():
+            self._campaign_id = started.result()
+        else:
+            started.cancel()
+        return self._campaign_id, future
+
+    # ---- shutdown --------------------------------------------------------
+
+    async def drain(self, timeout: float = 60.0):
+        """Graceful-stop sequence: signal the campaign, wait for its
+        wave boundary, wait for in-flight exchanges, flush durably."""
+        self.campaign_stop.set()
+        future = self._campaign_future
+        if future is not None and not future.done():
+            try:
+                await asyncio.wait_for(asyncio.shield(future), timeout)
+            except (asyncio.TimeoutError, Exception):  # noqa: BLE001
+                pass  # report (or error) surfaced via the future itself
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+        except asyncio.TimeoutError:
+            pass
+        await self._run_blocking(self._flush_sync)
+
+    def _flush_sync(self):
+        registry = self.fleet.registry
+        for record in registry:
+            registry.save(record)
+        registry.flush()  # also flushes the attached event log
+
+    def close(self):
+        self.executor.shutdown(wait=True)

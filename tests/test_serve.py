@@ -1,0 +1,582 @@
+"""Control-plane tests: shard routing, async pump parity with the
+synchronous verifier, the HTTP daemon + client, graceful shutdown.
+
+The parity class is the load-bearing one: the daemon interleaves
+thousands of HMAC exchanges on one event loop, and nothing about that
+concurrency may change a single security decision -- quarantine
+verdicts, accept decisions and nonce high-water marks must match the
+synchronous ``attest_stream`` path device for device, including a
+captured report replayed into the stream mid-sweep.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.fleet.campaign import CampaignConfig, CampaignStatus
+from repro.fleet.protocol import VERIFIER_ID, MsgKind, SignedReport
+from repro.fleet.registry import Lifecycle
+from repro.fleet.simulation import FleetSimulation
+from repro.fleet.store import JsonlStore, SqliteStore
+from repro.serve import (
+    AsyncFleetPump,
+    DaemonThread,
+    FleetClient,
+    PumpBusy,
+    ServeError,
+    ShardedStore,
+    ShardRouter,
+    open_sharded_store,
+)
+from repro.serve.client import collect
+
+
+# ---- shard routing ----------------------------------------------------------
+
+
+class TestShardRouter:
+    def test_routing_is_stable_across_instances(self):
+        ids = [f"dev-{n:05d}" for n in range(500)]
+        first = ShardRouter(4)
+        second = ShardRouter(4)
+        assert [first.shard_for(i) for i in ids] == \
+               [second.shard_for(i) for i in ids]
+
+    def test_every_shard_owns_a_reasonable_share(self):
+        ids = [f"dev-{n:05d}" for n in range(2000)]
+        groups = ShardRouter(4).partition(ids)
+        assert sorted(groups) == [0, 1, 2, 3]
+        shares = [len(groups[shard]) / len(ids) for shard in sorted(groups)]
+        # Consistent hashing is not perfectly uniform; vnodes keep the
+        # skew bounded well inside what load balancing needs.
+        assert all(0.10 <= share <= 0.45 for share in shares), shares
+
+    def test_growing_the_ring_moves_few_ids(self):
+        ids = [f"dev-{n:05d}" for n in range(2000)]
+        four, five = ShardRouter(4), ShardRouter(5)
+        moved = sum(1 for device_id in ids
+                    if four.shard_for(device_id) != five.shard_for(device_id))
+        # Ideal movement is 1/5 of the fleet; allow generous slack but
+        # stay far from the ~4/5 a naive modulo hash would reshuffle.
+        assert moved / len(ids) <= 0.40, moved
+
+    def test_partition_preserves_order(self):
+        ids = [f"dev-{n:05d}" for n in range(64)]
+        groups = ShardRouter(3).partition(ids)
+        for shard, members in groups.items():
+            assert members == [i for i in ids
+                               if ShardRouter(3).shard_for(i) == shard]
+
+    def test_rejects_empty_ring(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+
+class TestShardedStore:
+    def _docs(self, count):
+        return [{"device_id": f"dev-{n:05d}", "n": n} for n in range(count)]
+
+    def test_records_route_and_merge(self, tmp_path):
+        store = ShardedStore([JsonlStore(str(tmp_path / "a.jsonl")),
+                              SqliteStore(str(tmp_path / "b.db"))])
+        for doc in self._docs(40):
+            store.save_record(doc)
+        store.flush()
+        assert len(store.load_records()) == 40
+        counts = store.counts()
+        assert sum(counts) == 40 and all(count > 0 for count in counts)
+        store.close()
+
+    def test_meta_lives_on_shard_zero(self, tmp_path):
+        shard0 = JsonlStore(str(tmp_path / "a.jsonl"))
+        shard1 = JsonlStore(str(tmp_path / "b.jsonl"))
+        store = ShardedStore([shard0, shard1])
+        store.save_meta({"clock": 7})
+        store.flush()
+        assert shard0.load_meta() == {"clock": 7}
+        assert shard1.load_meta() == {}
+        assert store.load_meta() == {"clock": 7}
+        store.close()
+
+    def test_open_sharded_store_dispatch(self, tmp_path):
+        assert open_sharded_store(None).backend == "memory"
+        single = open_sharded_store([str(tmp_path / "one.db")])
+        assert single.backend == "sqlite"  # no ring for one shard
+        single.close()
+        multi = open_sharded_store([str(tmp_path / "a.jsonl"),
+                                    str(tmp_path / "b.db")])
+        assert multi.backend == "sharded"
+        assert [store.backend for store in multi.stores] == \
+               ["jsonl", "sqlite"]
+        multi.close()
+
+    def test_fleet_persists_and_restores_across_shards(self, tmp_path):
+        paths = [str(tmp_path / "a.jsonl"), str(tmp_path / "b.db")]
+        store = open_sharded_store(paths)
+        fleet = FleetSimulation(size=12, store=store)
+        fleet.attest_all()
+        report = fleet.rollout(1, config=CampaignConfig(
+            wave_fractions=(0.5, 1.0)))
+        assert report.status is CampaignStatus.COMPLETE
+        store.close()
+        # Both shard files hold live state.
+        assert os.path.getsize(paths[0]) > 0
+        assert os.path.getsize(paths[1]) > 0
+        reopened = open_sharded_store(paths)
+        restored = FleetSimulation(store=reopened)
+        assert len(restored.registry) == 12
+        assert restored.registry.version_histogram() == {1: 12}
+        # Restored devices still attest cleanly (replicas rebuilt with
+        # the rolled-out payload; nonces advanced past the slack).
+        results = restored.attest_all()
+        assert all(result.ok for result in results.values())
+        reopened.close()
+
+
+# ---- campaign stop hook -----------------------------------------------------
+
+
+class TestCampaignStop:
+    def test_stop_observed_at_wave_boundary_then_resume(self, tmp_path):
+        store = open_sharded_store([str(tmp_path / "a.jsonl"),
+                                    str(tmp_path / "b.jsonl")])
+        fleet = FleetSimulation(size=40, store=store)
+        stop = threading.Event()
+        # Trip the stop the moment the first wave commits: the second
+        # wave must never be offered.
+        subscription = fleet.events.bus.subscribe(
+            lambda doc: stop.set(), kinds=("wave-commit",))
+        report = fleet.rollout(1, config=CampaignConfig(
+            wave_fractions=(0.1, 0.5, 1.0)), stop=stop)
+        fleet.events.bus.unsubscribe(subscription)
+        assert report.status is CampaignStatus.STOPPED
+        assert report.stopped and not report.halted
+        assert report.applied == 4 and report.skipped == 36
+        assert "stop requested" in report.halt_reason
+        # The flushed wave is durable; resume finishes the rest.
+        resumed = fleet.rollout(1, resume=True)
+        assert resumed.status is CampaignStatus.COMPLETE
+        assert resumed.resumed == 4 and resumed.applied == 36
+        assert fleet.registry.version_histogram() == {1: 40}
+        store.close()
+
+    def test_stop_set_before_run_offers_nothing(self):
+        fleet = FleetSimulation(size=8)
+        stop = threading.Event()
+        stop.set()
+        report = fleet.rollout(1, stop=stop)
+        assert report.status is CampaignStatus.STOPPED
+        assert report.applied == 0 and report.skipped == 8
+        assert fleet.registry.version_histogram() == {0: 8}
+
+
+# ---- async/sync decision parity ---------------------------------------------
+
+
+FLEET_KW = dict(size=24, loss=0.15, seed=7)
+
+
+def _decisions(results_by_id, fleet):
+    """(ok, detail, state, nonce high-water) per device."""
+    out = {}
+    for device_id, (ok, detail) in results_by_id.items():
+        record = fleet.registry.get(device_id)
+        out[device_id] = (ok, detail, record.state.value,
+                         record.nonce_high_water)
+    return out
+
+
+def _pump_sweep(fleet, sweeps=1):
+    """Run N fully concurrent attest sweeps on a fresh event loop."""
+
+    async def _run():
+        pump = AsyncFleetPump(fleet)
+        try:
+            last = None
+            for _ in range(sweeps):
+                last = await pump.attest()
+            return last
+        finally:
+            pump.close()
+
+    results = asyncio.run(_run())
+    return {doc["device"]: (doc["ok"], doc["detail"]) for doc in results}
+
+
+class TestAsyncSyncParity:
+    def test_concurrent_attest_matches_attest_all(self):
+        sync_fleet = FleetSimulation(**FLEET_KW)
+        async_fleet = FleetSimulation(**FLEET_KW)
+        # Two sweeps: the second starts from advanced nonces/cycles, so
+        # ordering bugs that only surface after state moves would show.
+        sync_last = None
+        for _ in range(2):
+            sync_last = fleet_results = {
+                device_id: (result.ok, result.detail)
+                for device_id, result in sync_fleet.attest_all().items()}
+        async_last = _pump_sweep(async_fleet, sweeps=2)
+        assert _decisions(async_last, async_fleet) == \
+               _decisions(sync_last, sync_fleet)
+
+    def test_concurrent_attest_matches_api_attest_stream(self):
+        from repro.api import FleetSpec, ScenarioSpec, Session
+
+        spec = ScenarioSpec(name="fleet", security="casu",
+                            fleet=FleetSpec(run_cycles=0, **FLEET_KW))
+        session = Session(spec)
+        stream = {
+            attestation.device_id: (attestation.ok, attestation.detail)
+            for attestation in session.attest_stream()}
+        sync = _decisions(stream, session.fleet)
+
+        async_fleet = FleetSimulation(**FLEET_KW)
+        concurrent = _decisions(_pump_sweep(async_fleet), async_fleet)
+        assert concurrent == sync
+
+    def test_replayed_report_mid_stream_quarantines_identically(self):
+        """A captured (authentically MAC'd, stale-nonce) report sitting
+        in one device's uplink while the whole fleet attests
+        concurrently must quarantine that device with 'replay' -- the
+        same verdict the synchronous sweep reaches."""
+        fleets = [FleetSimulation(**FLEET_KW), FleetSimulation(**FLEET_KW)]
+        sync_fleet, async_fleet = fleets
+        victim = sync_fleet.registry.ids()[5]
+        captured = {}
+        for fleet in fleets:
+            # Sweep once so the victim has a consumed nonce to replay.
+            results = fleet.attest_all()
+            assert results[victim].ok, "pick a reachable victim"
+            record = fleet.registry.get(victim)
+            captured[fleet] = SignedReport.make(
+                record.key, b"attest", victim, record.nonce_high_water,
+                results[victim].report)
+            link = fleet.transport.link(victim)
+            # Partition the device and inject the capture: the only
+            # reply the verifier can see is the attacker's.
+            link.down.loss = 1.0
+            link.up.send(victim, VERIFIER_ID,
+                         MsgKind.ATTEST_REPORT.value, captured[fleet])
+        sync = _decisions(
+            {device_id: (result.ok, result.detail)
+             for device_id, result in sync_fleet.attest_all().items()},
+            sync_fleet)
+        concurrent = _decisions(_pump_sweep(async_fleet), async_fleet)
+        assert concurrent == sync
+        assert concurrent[victim][1] == "replay"
+        assert concurrent[victim][2] == Lifecycle.QUARANTINED.value
+
+    def test_per_device_ordering_is_preserved(self):
+        """Many concurrent attests against ONE device serialise: every
+        exchange consumes a fresh nonce, none collide."""
+        fleet = FleetSimulation(size=3)
+        device_id = fleet.registry.ids()[0]
+
+        async def _run():
+            pump = AsyncFleetPump(fleet)
+            try:
+                return await asyncio.gather(
+                    *(pump.attest_one(device_id) for _ in range(8)))
+            finally:
+                pump.close()
+
+        outcomes = asyncio.run(_run())
+        assert all(result.ok for result, _record in outcomes)
+        record = fleet.registry.get(device_id)
+        # enroll + 8 attests, each exactly one nonce
+        assert record.nonce_high_water == 9
+        assert record.attest_count == 8
+
+    def test_rollout_holds_the_fleet_exclusively(self):
+        fleet = FleetSimulation(size=4)
+
+        async def _run():
+            pump = AsyncFleetPump(fleet)
+            try:
+                pump._campaign_future = asyncio.get_running_loop(
+                    ).create_future()  # a campaign that never finishes
+                with pytest.raises(PumpBusy):
+                    await pump.attest()
+                with pytest.raises(PumpBusy):
+                    await pump.enroll(count=1)
+                pump._campaign_future.cancel()
+            finally:
+                pump.close()
+
+        asyncio.run(_run())
+
+
+# ---- the HTTP daemon + client -----------------------------------------------
+
+
+@pytest.fixture()
+def daemon_fleet():
+    fleet = FleetSimulation(size=16)
+    with DaemonThread(fleet) as thread:
+        yield fleet, FleetClient(thread.url)
+
+
+class TestDaemonApi:
+    def test_status_envelope(self, daemon_fleet):
+        fleet, client = daemon_fleet
+        doc = client.status()
+        assert doc["schema"] == "eilid.serve.status" and doc["version"] == 1
+        assert doc["ready"] is True and doc["devices"] == 16
+        assert doc["states"] == {"enrolled": 16}
+        assert doc["store"] == {"backend": "none", "shards": 1}
+
+    def test_enroll_by_count_and_by_id(self, daemon_fleet):
+        fleet, client = daemon_fleet
+        doc = client.enroll(count=3)
+        assert doc["schema"] == "eilid.serve.enroll"
+        assert doc["ok"] and doc["enrolled"] == 3 and doc["devices"] == 19
+        doc = client.enroll(device_ids=["sensor-a", "sensor-b"])
+        assert doc["ok"] and set(doc["device_ids"]) == \
+               {"sensor-a", "sensor-b"}
+        assert len(fleet.registry) == 21
+
+    def test_enroll_needs_a_body(self, daemon_fleet):
+        _fleet, client = daemon_fleet
+        with pytest.raises(ServeError) as excinfo:
+            client.enroll()
+        assert excinfo.value.status == 400
+
+    def test_attest_full_and_subset(self, daemon_fleet):
+        fleet, client = daemon_fleet
+        doc = client.attest()
+        assert doc["schema"] == "eilid.serve.attest"
+        assert doc["ok"] and doc["attested"] == 16 and doc["failed"] == []
+        subset = fleet.registry.ids()[:4]
+        doc = client.attest(subset)
+        assert doc["attested"] == 4
+        assert [entry["device"] for entry in doc["results"]] == subset
+        assert all(entry["nonce_high_water"] >= 2
+                   for entry in doc["results"])
+
+    def test_attest_unknown_device_is_404(self, daemon_fleet):
+        _fleet, client = daemon_fleet
+        with pytest.raises(ServeError) as excinfo:
+            client.attest(["no-such-device"])
+        assert excinfo.value.status == 404
+
+    def test_rollout_campaign_and_streaming_events(self, daemon_fleet):
+        fleet, client = daemon_fleet
+        doc = client.rollout(1, waves=[0.25, 1.0])
+        assert doc["schema"] == "eilid.serve.rollout"
+        campaign_id = doc["campaign"]
+        assert campaign_id
+        streamed = collect(client.campaign_events(campaign_id))
+        kinds = [event["kind"] for event in streamed]
+        assert kinds[0] == "campaign-start" and kinds[-1] == "campaign-end"
+        assert kinds.count("wave-commit") == 2
+        assert all(event["campaign"] == campaign_id for event in streamed)
+        seqs = [event["seq"] for event in streamed]
+        assert seqs == sorted(seqs)
+        final = client.wait_campaign(campaign_id)
+        assert final["report"]["status"] == "complete"
+        assert final["report"]["applied"] == 16
+        assert final["rollup"]["campaign"] == campaign_id
+        assert fleet.registry.version_histogram() == {1: 16}
+
+    def test_campaign_stream_replays_finished_campaigns(self, daemon_fleet):
+        _fleet, client = daemon_fleet
+        campaign_id = client.rollout(1)["campaign"]
+        client.wait_campaign(campaign_id)
+        # A second stream over the same (finished) campaign serves the
+        # backlog and terminates -- it must not hang waiting for more.
+        streamed = collect(client.campaign_events(campaign_id))
+        assert streamed and streamed[-1]["kind"] == "campaign-end"
+
+    def test_unknown_campaign_is_404(self, daemon_fleet):
+        _fleet, client = daemon_fleet
+        with pytest.raises(ServeError) as excinfo:
+            client.campaign("c999")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServeError) as excinfo:
+            collect(client.campaign_events("c999"))
+        assert excinfo.value.status == 404
+
+    def test_events_backlog_and_since_cursor(self, daemon_fleet):
+        _fleet, client = daemon_fleet
+        client.attest()
+        docs = collect(client.events())
+        assert len(docs) >= 16
+        seqs = [doc["seq"] for doc in docs]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        later = collect(client.events(since=seqs[-4]))
+        assert [doc["seq"] for doc in later] == seqs[-3:]
+
+    def test_metrics_exposition(self, daemon_fleet):
+        _fleet, client = daemon_fleet
+        client.attest()
+        text = client.metrics()
+        assert "eilid_serve_requests" in text
+        assert "eilid_serve_request_attest_ms" in text
+
+    def test_unknown_route_and_wrong_method(self, daemon_fleet):
+        _fleet, client = daemon_fleet
+        with pytest.raises(ServeError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServeError) as excinfo:
+            client._request("GET", "/enroll")
+        assert excinfo.value.status == 405
+
+    def test_malformed_body_is_400(self, daemon_fleet):
+        import http.client
+
+        _fleet, client = daemon_fleet
+        connection = http.client.HTTPConnection(client.host, client.port,
+                                                timeout=30)
+        try:
+            connection.request("POST", "/attest", body="{not json",
+                               headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            doc = json.loads(response.read())
+            assert response.status == 400
+            assert doc["schema"] == "eilid.serve.error"
+        finally:
+            connection.close()
+
+    def test_rollout_requires_version(self, daemon_fleet):
+        _fleet, client = daemon_fleet
+        with pytest.raises(ServeError) as excinfo:
+            client._request("POST", "/rollout", {"waves": [1.0]})
+        assert excinfo.value.status == 400
+
+    def test_bad_campaign_config_is_400(self, daemon_fleet):
+        _fleet, client = daemon_fleet
+        with pytest.raises(ServeError) as excinfo:
+            client.rollout(1, waves=[0.5])  # must end at 1.0
+        assert excinfo.value.status == 400
+
+
+class TestDaemonShutdown:
+    def test_graceful_stop_flushes_every_shard(self, tmp_path):
+        paths = [str(tmp_path / "a.jsonl"), str(tmp_path / "b.db")]
+        store = open_sharded_store(paths)
+        fleet = FleetSimulation(size=10, store=store,
+                                events=str(tmp_path / "events.jsonl"))
+        thread = DaemonThread(fleet)
+        client = FleetClient(thread.url)
+        client.attest()
+        thread.stop()
+        store.close()
+        reopened = open_sharded_store(paths)
+        docs = reopened.load_records()
+        assert len(docs) == 10
+        assert all(doc["attest_count"] == 1 for doc in docs.values())
+        reopened.close()
+
+    def test_status_reports_shutting_down(self, tmp_path):
+        fleet = FleetSimulation(size=4)
+        thread = DaemonThread(fleet)
+        try:
+            assert FleetClient(thread.url).status()["ready"] is True
+        finally:
+            thread.stop()
+
+
+# ---- CLI + subprocess regression --------------------------------------------
+
+
+def _spawn_daemon(tmp_path, devices, extra=()):
+    env = dict(os.environ, PYTHONPATH="src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "run",
+         "--devices", str(devices),
+         "--store-shard", str(tmp_path / "shard-a.jsonl"),
+         "--store-shard", str(tmp_path / "shard-b.db"),
+         "--events", str(tmp_path / "events.db"), "--json", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        cwd=os.getcwd())
+    ready = json.loads(proc.stdout.readline())
+    assert ready["schema"] == "eilid.serve.ready"
+    return proc, ready
+
+
+class TestServeCli:
+    def test_sigterm_mid_rollout_exits_zero_and_resumes(self, tmp_path):
+        """THE shutdown regression: kill the daemon between waves, get
+        exit 0 with every flushed wave durable, then finish the same
+        campaign offline via rollout(resume=True) on the same shards."""
+        proc, ready = _spawn_daemon(tmp_path, devices=400)
+        client = FleetClient(ready["url"])
+        try:
+            doc = client.rollout(2, waves=[0.02, 0.1, 0.3, 1.0])
+            campaign_id = doc["campaign"]
+            # A second rollout while one is in flight conflicts.
+            with pytest.raises(ServeError) as excinfo:
+                client.rollout(3)
+            assert excinfo.value.status == 409
+            for event in client.campaign_events(campaign_id, timeout=120):
+                if event["kind"] == "wave-commit":
+                    proc.send_signal(signal.SIGTERM)
+                    break
+        finally:
+            out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err
+        assert json.loads(out.splitlines()[-1])["schema"] == \
+            "eilid.serve.shutdown"
+        store = open_sharded_store([str(tmp_path / "shard-a.jsonl"),
+                                    str(tmp_path / "shard-b.db")])
+        fleet = FleetSimulation(store=store,
+                                events=str(tmp_path / "events.db"))
+        assert len(fleet.registry) == 400
+        report = fleet.rollout(2, resume=True)
+        assert report.status is CampaignStatus.COMPLETE
+        # At least the committed first wave (8 devices) was durable and
+        # skipped; the rest applied now.
+        assert report.resumed >= 8
+        assert report.resumed + report.applied == 400
+        assert fleet.registry.version_histogram() == {2: 400}
+        store.close()
+
+    def test_fleet_status_and_watch_against_daemon(self, tmp_path, capsys):
+        from repro.cli import main
+
+        fleet = FleetSimulation(size=6)
+        with DaemonThread(fleet) as thread:
+            code = main(["fleet", "status", "--url", thread.url, "--json"])
+            doc = json.loads(capsys.readouterr().out)
+            assert code == 0
+            assert doc["daemon"]["devices"] == 6
+            assert doc["attested"] == 6
+            code = main(["fleet", "watch", "--url", thread.url, "--json"])
+            lines = [json.loads(line) for line
+                     in capsys.readouterr().out.splitlines() if line.strip()]
+            assert code == 0
+            assert len(lines) >= 12  # enrolls + attests
+            assert all("seq" in doc and "kind" in doc for doc in lines)
+
+    def test_fleet_status_url_exit_2_on_quarantine(self, capsys):
+        from repro.cli import main
+
+        fleet = FleetSimulation(size=4)
+        victim = fleet.registry.ids()[0]
+        fleet.transport.link(victim).down.loss = 1.0  # partition one
+        with DaemonThread(fleet) as thread:
+            code = main(["fleet", "status", "--url", thread.url, "--json"])
+            doc = json.loads(capsys.readouterr().out)
+        assert code == 2
+        assert [entry["device"] for entry in doc["failed"]] == [victim]
+
+    def test_watch_url_unreachable_is_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["fleet", "watch",
+                     "--url", "http://127.0.0.1:1", "--json"]) == 1
+        assert "cannot stream" in capsys.readouterr().err
+
+    def test_serve_run_rejects_bad_flags(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "run", "--devices", "-1"]) == 1
+        assert main(["serve", "run", "--loss", "1.5"]) == 1
+        capsys.readouterr()
