@@ -7,7 +7,6 @@ design choice costs in compile time -- execution is cycle-identical
 (asserted), so the choice is purely a toolchain trade-off.
 """
 
-import pytest
 
 from repro.apps.registry import APPS
 from repro.device import build_device

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Static analysis and the sweep-guided coverage loop.
+
+Part 1 runs the analyzer (:mod:`repro.analyze`) over a benign Table IV
+application and an attack image: the benign build is clean (zero
+criticals), the attack image trips a critical before it ever runs.
+
+Part 2 closes the loop the paper leaves open: a firmware with a
+fault-bendable function pointer is swept with instruction-skip faults,
+the analyzer clusters the escapes by basic block and proposes a
+``narrow-indirect-targets`` CFI tightening, and a re-run sweep graded
+against the patched policy turns those bent-pointer escapes into
+trace-replay detections.
+"""
+
+from repro.analyze import (
+    analyze_program,
+    apply_cfi_patch,
+    correlate_sweep,
+)
+from repro.api import FirmwareSpec
+from repro.api.firmware import build_firmware
+from repro.attacks.injection import RAW_ATTACK_FIRMWARE
+from repro.cfg import compile_policy, recover_cfg
+from repro.faults import FaultCampaign, enumerate_sites, expand_plan
+
+# The honest path always calls `process`; skipping one of the three
+# gate instructions bends r10 to `diag` instead.  `diag` is a known
+# function entry but never address-taken, so the proposed narrowing
+# excludes it and replay flags the bent call.
+BENDABLE_ASM = """
+; Indirect-dispatch firmware with a fault-bendable function pointer.
+    .text
+    .global main
+main:
+    mov #process, r10
+    mov r10, r11
+    add #8, r11          ; r11 = diag (process body is 8 bytes)
+    mov #1, r15
+    cmp #1, r15
+    jz ok                ; honest path: always taken
+    mov r11, r10         ; fault path: bend the pointer to diag
+ok:
+    call r10
+    mov #1, &0x0070      ; DONE
+park:
+    jmp park
+dead:
+    call #diag           ; never executed: diag stays a known entry
+process:
+    mov #5, &0x0010
+    ret
+diag:
+    mov #5, &0x0010
+    ret
+"""
+
+
+def escape_ids(report):
+    return {doc["id"] for doc in report.outcomes["none"]
+            if doc["outcome"] in ("escape", "silent-corruption")}
+
+
+def main():
+    # -- part 1: lint a benign app and an attack image --------------------
+    build = build_firmware(FirmwareSpec(kind="app", app="light_sensor",
+                                        variant="eilid"))
+    benign = analyze_program(build.program, name="light_sensor",
+                             variant="eilid")
+    print(f"1. light_sensor/eilid: ok={benign.ok} "
+          f"({benign.count('warn')} warns, "
+          f"{benign.count('critical')} criticals)")
+    assert benign.ok, "a Table IV app must analyze clean"
+
+    attack_build = build_firmware(RAW_ATTACK_FIRMWARE["ivt_overwrite"])
+    attack = analyze_program(attack_build.program, name="ivt_overwrite")
+    print("2. the ivt_overwrite attack image, statically:")
+    print(attack.render())
+    assert not attack.ok, "the attack image must trip a critical"
+
+    # -- part 2: the sweep-guided coverage loop ---------------------------
+    spec = FirmwareSpec(kind="asm", source=BENDABLE_ASM,
+                        variant="original", name="bendable",
+                        link_rom=False)
+    bend_build = build_firmware(spec)
+    cfg = recover_cfg(bend_build.program, name="bendable")
+    plan = expand_plan(enumerate_sites(cfg, kinds=("insn-skip",)),
+                       seed=0, count=None, name="bendable")
+    print(f"3. sweeping all {len(plan.faults)} instruction-skip faults "
+          f"over the bendable firmware ...")
+    baseline = FaultCampaign(spec, plan, profiles=("none",)).run()
+
+    findings = analyze_program(bend_build.program, name="bendable").findings
+    correlation = correlate_sweep(baseline, cfg, list(findings))
+    patch = next(p for p in correlation["proposals"]
+                 if p["action"] == "narrow-indirect-targets")
+    print(f"4. {len(correlation['clusters'])} escape cluster(s); "
+          f"proposed tightening: {patch['reason']}")
+
+    policy = compile_policy(cfg, bend_build.program.symbols)
+    tightened = apply_cfi_patch(policy, patch)
+    rerun = FaultCampaign(spec, plan, profiles=("none",),
+                          policy=tightened).run()
+
+    flipped = sorted(escape_ids(baseline) - escape_ids(rerun))
+    print(f"5. re-swept against the patched policy: fault(s) {flipped} "
+          f"flipped escape -> detected")
+    assert flipped, "the tightening must convert escapes to detections"
+    after = {doc["id"]: doc for doc in rerun.outcomes["none"]}
+    for fid in flipped:
+        assert after[fid]["reason"].startswith("replay:"), after[fid]
+    print(f"   ok -- {after[flipped[0]]['reason']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,7 +27,7 @@ def main():
     policy = policy_for_program(build.program)
     print(f"{cfg.name}: {len(cfg.insns)} instructions, "
           f"{len(cfg.functions)} functions, {cfg.block_count} basic blocks")
-    print(f"indirect-call table (recovered from the binary): "
+    print("indirect-call table (recovered from the binary): "
           + ", ".join(f"0x{addr:04x}" for addr in cfg.indirect_targets))
     print(f"policy digest: {policy.digest[:16]}...")
 

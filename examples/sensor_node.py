@@ -46,7 +46,7 @@ def main():
     run_pct = 100.0 * (eilid.cycles - original.cycles) / original.cycles
     size_pct = 100.0 * (size_eilid - size_orig) / size_orig
     paper = PAPER_TABLE4[spec.name]
-    print(f"\n              measured   paper")
+    print("\n              measured   paper")
     print(f"run overhead  {run_pct:7.2f}%  {paper.run_overhead_pct:6.2f}%")
     print(f"size overhead {size_pct:7.2f}%  {paper.size_overhead_pct:6.2f}%")
     print(f"binary bytes  {size_orig}/{size_eilid}   "

@@ -1,0 +1,37 @@
+"""Static analysis over recovered firmware CFGs.
+
+Rule-based lint catching, before a device ever runs, the classes of
+badness EILID/CASU otherwise catch at runtime: worst-case stack bounds
+(:mod:`.stack`), stores into protected regions (:mod:`.regions`),
+CFI-policy coverage gaps (:mod:`.coverage`), and the sweep-guided
+coverage loop that turns fault-sweep escape clusters into proposed
+policy tightenings (:mod:`.correlate`).
+"""
+
+from repro.analyze.correlate import (
+    apply_cfi_patch,
+    cluster_escapes,
+    correlate_sweep,
+)
+from repro.analyze.coverage import address_taken_entries
+from repro.analyze.findings import (
+    SEVERITIES,
+    AnalysisReport,
+    AnalyzeError,
+    Finding,
+)
+from repro.analyze.runner import RULE_GROUPS, analyze_cfg, analyze_program
+
+__all__ = [
+    "SEVERITIES",
+    "RULE_GROUPS",
+    "AnalysisReport",
+    "AnalyzeError",
+    "Finding",
+    "address_taken_entries",
+    "analyze_cfg",
+    "analyze_program",
+    "apply_cfi_patch",
+    "cluster_escapes",
+    "correlate_sweep",
+]

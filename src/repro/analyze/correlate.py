@@ -1,0 +1,146 @@
+"""Rule 4: fault-sweep correlation -- the sweep-guided coverage loop.
+
+Takes a finished :class:`~repro.faults.campaign.FaultReport`, clusters
+its ``escape`` / ``silent-corruption`` sites by the basic block the
+fault triggered in, correlates each cluster with the static findings
+on that block, and emits **proposed CFI-policy tightenings** as
+machine-applyable JSON patches:
+
+* ``narrow-indirect-targets`` -- when the image runs with the
+  all-function-entries fallback target set (no EILID call-table
+  registrations) and faults escaped, propose narrowing the policy's
+  indirect-target set to the *address-taken* entries.
+  :func:`apply_cfi_patch` applies this to a :class:`CfiPolicy`; a
+  re-run sweep grading escapes against the patched policy
+  (``FaultCampaign(..., policy=...)``) turns bent-pointer escapes into
+  replay detections.
+* ``monitor-range`` -- when a cluster's block carries a region-write
+  finding, propose the written range for runtime monitoring (a
+  monitor-side change; not applyable to a CfiPolicy).
+
+Everything is a pure function of (report, cfg, findings): same inputs,
+byte-identical proposal JSON.
+"""
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.analyze.coverage import address_taken_entries
+from repro.analyze.findings import AnalyzeError, Finding
+from repro.cfg.policy import CfiPolicy
+from repro.cfg.recover import RecoveredCfg
+
+ESCAPE_OUTCOMES = ("escape", "silent-corruption")
+
+
+def _block_of(cfg: RecoveredCfg, pc: int) -> Tuple[Optional[int], Optional[str]]:
+    func = cfg.function_at(pc)
+    if func is None:
+        return None, None
+    for start, block in func.blocks.items():
+        if block.start <= pc <= block.end:
+            return start, func.name
+    return None, func.name
+
+
+def cluster_escapes(report, cfg: RecoveredCfg) -> List[dict]:
+    """Group escape/silent fault sites by (profile, basic block)."""
+    buckets: Dict[Tuple[str, int], dict] = {}
+    for profile in sorted(report.outcomes):
+        for doc in report.outcomes[profile]:
+            if doc["outcome"] not in ESCAPE_OUTCOMES:
+                continue
+            block, function = _block_of(cfg, doc["pc"])
+            key = (profile, block if block is not None else -1)
+            bucket = buckets.setdefault(key, {
+                "profile": profile, "block": block, "function": function,
+                "pcs": [], "fault_ids": [], "outcomes": {}})
+            if doc["pc"] not in bucket["pcs"]:
+                bucket["pcs"].append(doc["pc"])
+            bucket["fault_ids"].append(doc["id"])
+            bucket["outcomes"][doc["outcome"]] = \
+                bucket["outcomes"].get(doc["outcome"], 0) + 1
+    clusters = []
+    for key in sorted(buckets):
+        bucket = buckets[key]
+        bucket["pcs"].sort()
+        bucket["fault_ids"].sort()
+        bucket["outcomes"] = {k: bucket["outcomes"][k]
+                              for k in sorted(bucket["outcomes"])}
+        clusters.append(bucket)
+    return clusters
+
+
+def correlate_sweep(report, cfg: RecoveredCfg,
+                    findings: List[Finding]) -> dict:
+    """Clusters + findings-per-cluster + proposed tightenings."""
+    clusters = cluster_escapes(report, cfg)
+    by_block: Dict[int, List[Finding]] = {}
+    for finding in findings:
+        if finding.block is not None:
+            by_block.setdefault(finding.block, []).append(finding)
+
+    indirect_sites = [site for site in cfg.call_sites if site.target is None]
+    proposals: List[dict] = []
+    seen_actions = set()
+    for cluster in clusters:
+        block = cluster["block"]
+        related = by_block.get(block, []) if block is not None else []
+        cluster["findings"] = [f.to_dict() for f in related]
+
+        # A cluster on an over-wide indirect-target image: propose the
+        # address-taken narrowing once, carrying every cluster that
+        # motivated it as evidence.
+        if (indirect_sites and not cfg.indirect_targets_registered
+                and "narrow-indirect-targets" not in seen_actions):
+            taken = address_taken_entries(cfg)
+            if taken:
+                seen_actions.add("narrow-indirect-targets")
+                proposals.append({
+                    "action": "narrow-indirect-targets",
+                    "targets": list(taken),
+                    "was": sorted(cfg.indirect_targets),
+                    "reason": (f"escape cluster(s) on an image whose "
+                               f"indirect-target set fell back to all "
+                               f"{len(cfg.indirect_targets)} entries; "
+                               f"narrow to the {len(taken)} address-taken "
+                               f"entries"),
+                })
+        for finding in related:
+            target = finding.evidence.get("target")
+            if finding.rule.endswith("-write") and target is not None:
+                key = ("monitor-range", target)
+                if key in seen_actions:
+                    continue
+                seen_actions.add(key)
+                proposals.append({
+                    "action": "monitor-range",
+                    "start": target, "end": target + 1,
+                    "reason": (f"escape cluster overlaps a {finding.rule} "
+                               f"finding at 0x{(finding.pc or 0):04x}"),
+                })
+    proposals.sort(key=lambda p: (p["action"], p.get("start", -1)))
+    return {"clusters": clusters, "proposals": proposals}
+
+
+def apply_cfi_patch(policy: CfiPolicy, patch: dict) -> CfiPolicy:
+    """Apply one machine-readable tightening to a compiled policy."""
+    action = patch.get("action")
+    if action == "narrow-indirect-targets":
+        targets = frozenset(int(t) for t in patch["targets"])
+        if not targets:
+            raise AnalyzeError("narrow-indirect-targets patch with an "
+                               "empty target set would forbid every "
+                               "indirect call")
+        extra = targets - policy.indirect_targets
+        if extra:
+            raise AnalyzeError(
+                "patch targets "
+                + ", ".join(f"0x{t:04x}" for t in sorted(extra))
+                + " are not in the policy's current set; a tightening "
+                  "may only narrow")
+        return replace(policy, indirect_targets=targets,
+                       indirect_from_table=True)
+    raise AnalyzeError(f"patch action {action!r} is not applyable to a "
+                       f"CFI policy (monitor-side actions configure the "
+                       f"hardware monitor instead)")

@@ -1,0 +1,82 @@
+"""Orchestrates the analysis rules over one linked firmware image.
+
+``RULE_GROUPS`` names the three static rule groups; the fourth analysis
+(sweep correlation) lives in :mod:`repro.analyze.correlate` because it
+needs a finished :class:`FaultReport` alongside the CFG -- the
+:class:`~repro.api.session.Session` wires the two together.
+"""
+
+from typing import Optional, Sequence, Tuple
+
+from repro.analyze.coverage import address_taken_entries, analyze_coverage
+from repro.analyze.findings import AnalysisReport, AnalyzeError
+from repro.analyze.regions import analyze_regions
+from repro.analyze.stack import analyze_stack
+from repro.cfg.recover import RecoveredCfg, recover_cfg
+
+RULE_GROUPS = ("stack", "regions", "coverage")
+
+
+def _check_rules(rules: Sequence[str]) -> Tuple[str, ...]:
+    unknown = sorted(set(rules) - set(RULE_GROUPS))
+    if unknown:
+        raise AnalyzeError(f"unknown rule group(s) {', '.join(unknown)}; "
+                           f"one of {', '.join(RULE_GROUPS)}")
+    if not rules:
+        raise AnalyzeError("no rule groups selected")
+    return tuple(sorted(set(rules)))
+
+
+def _indirect_callees(cfg: RecoveredCfg) -> Tuple[str, ...]:
+    """Callee names the stack model admits at an indirect call site.
+
+    The registered EILID table when the image carries one; otherwise
+    the address-taken entries -- NOT ``recover_cfg``'s all-entries
+    fallback, which contains ``__start`` and every caller and would
+    manufacture call-graph cycles that flag benign firmware as
+    recursive.
+    """
+    if cfg.indirect_targets_registered:
+        addrs = cfg.indirect_targets
+    else:
+        addrs = address_taken_entries(cfg)
+    return tuple(sorted(cfg.function_entries[addr] for addr in addrs
+                        if addr in cfg.function_entries))
+
+
+def analyze_cfg(cfg: RecoveredCfg, program, variant: str = "original",
+                rules: Sequence[str] = RULE_GROUPS,
+                stack_margin: int = 64,
+                irq_nesting: int = 1) -> AnalysisReport:
+    """Run the selected rule groups over an already recovered CFG."""
+    selected = _check_rules(rules)
+    report = AnalysisReport(name=cfg.name, variant=variant, rules=selected)
+    report.stats.update({
+        "insns": len(cfg.insns),
+        "functions": len(cfg.functions),
+        "blocks": sum(len(f.blocks) for f in cfg.functions.values()),
+        "call_sites": len(cfg.call_sites),
+        "indirect_targets": len(cfg.indirect_targets),
+    })
+    if "stack" in selected:
+        findings, stats = analyze_stack(
+            cfg, program, variant, _indirect_callees(cfg),
+            stack_margin=stack_margin, irq_nesting=irq_nesting)
+        report.extend(findings)
+        report.stats.update(stats)
+    if "regions" in selected:
+        report.extend(analyze_regions(cfg, program))
+    if "coverage" in selected:
+        report.extend(analyze_coverage(cfg, program))
+    return report.finalize()
+
+
+def analyze_program(program, name: Optional[str] = None,
+                    variant: str = "original",
+                    rules: Sequence[str] = RULE_GROUPS,
+                    stack_margin: int = 64,
+                    irq_nesting: int = 1) -> AnalysisReport:
+    """Recover the CFG and run the analyzer in one call."""
+    cfg = recover_cfg(program, name=name)
+    return analyze_cfg(cfg, program, variant=variant, rules=rules,
+                       stack_margin=stack_margin, irq_nesting=irq_nesting)

@@ -37,6 +37,7 @@ from repro.api.firmware import (
 )
 from repro.api.results import (
     AttackDetails,
+    AnalyzeOutcome,
     AttestOutcome,
     BuildArtifacts,
     DeviceAttestation,
@@ -56,6 +57,7 @@ from repro.api.spec import (
     SCHEMA,
     SECURITY_PROFILES,
     SPEC_VERSION,
+    AnalyzeSpec,
     FaultSpec,
     FirmwareSpec,
     FleetSpec,
@@ -67,6 +69,8 @@ from repro.api.spec import (
 )
 
 __all__ = [
+    "AnalyzeOutcome",
+    "AnalyzeSpec",
     "AttackDetails",
     "AttestOutcome",
     "BuildArtifacts",

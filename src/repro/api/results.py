@@ -320,6 +320,46 @@ class VerifyOutcome:
         )
 
 
+# ---- static analysis --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AnalyzeOutcome:
+    """One static-analysis run, plus optional sweep correlation.
+
+    ``ok`` means no critical findings -- the gate fleets check before
+    enrolling an image.  ``correlation`` is present only when a fault
+    sweep was correlated: escape clusters, their overlapping findings,
+    and the proposed policy tightenings.
+    """
+
+    scenario: str
+    workload: str
+    name: str
+    variant: str
+    ok: bool
+    rules: Tuple[str, ...]
+    counts: dict  # severity -> count
+    findings: Tuple[dict, ...]
+    stats: dict
+    correlation: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        return envelope(
+            "analyze",
+            scenario=self.scenario,
+            workload=self.workload,
+            name=self.name,
+            variant=self.variant,
+            ok=self.ok,
+            rules=list(self.rules),
+            counts=dict(self.counts),
+            findings=[dict(finding) for finding in self.findings],
+            stats=dict(self.stats),
+            correlation=self.correlation,
+        )
+
+
 # ---- the one-shot pipeline result -------------------------------------------
 
 

@@ -106,6 +106,7 @@ class Session:
         self._verify_outcome: Optional[VerifyOutcome] = None
         self.campaign_report = None  # the raw CampaignReport, post-rollout
         self.fault_report = None  # the raw FaultReport, post-fault_sweep
+        self.analysis_report = None  # the raw AnalysisReport, post-analyze
         self.run_result = None  # the raw device RunResult (run workloads)
         self._policy_cache = None
         self._fleet_enrolled = 0  # handshake successes at enroll time
@@ -346,7 +347,7 @@ class Session:
             self._run_outcome = self._fleet_run_outcome(details)
         return details
 
-    def fault_sweep(self, plan=None, events=None):
+    def fault_sweep(self, plan=None, events=None, policy=None):
         """Run a seeded fault-injection sweep over this session's firmware.
 
         *plan* is a :class:`~repro.api.spec.FaultSpec` (defaults apply
@@ -355,7 +356,10 @@ class Session:
         requested defense profile (see :mod:`repro.faults`).  Returns
         the :class:`~repro.faults.FaultReport`; *events* (an obs
         :class:`~repro.obs.events.EventLog`) makes the sweep watchable
-        with ``fleet watch``.
+        with ``fleet watch``.  *policy* (a
+        :class:`~repro.cfg.policy.CfiPolicy`, e.g. one tightened by
+        :func:`repro.analyze.apply_cfi_patch`) additionally grades
+        escapes by replaying their branch traces against it.
         """
         from repro.api.spec import FaultSpec
         from repro.cfg import recover_cfg
@@ -376,11 +380,73 @@ class Session:
             firmware, fault_plan, profiles=plan.profiles,
             backend=plan.backend, workers=plan.workers,
             max_cycles=plan.max_cycles, warmup_steps=plan.warmup_steps,
-            events=events)
+            events=events, policy=policy)
         with METRICS.span("session.fault_sweep"):
             report = campaign.run()
         self.fault_report = report
         return report
+
+    def analyze(self, spec=None, events=None, fault_report=None):
+        """Run the static analyzer over this session's firmware image.
+
+        *spec* is an :class:`~repro.api.spec.AnalyzeSpec` (defaults
+        apply when omitted).  *fault_report* (or, when omitted, the
+        session's stored report from a prior :meth:`fault_sweep`)
+        switches on sweep correlation: escape/silent clusters are
+        matched against the findings and CFI-policy tightenings are
+        proposed.  *events* (an obs EventLog) records each finding as
+        an ``analysis-finding`` event, so fleets can gate enrollment on
+        a clean report.  Returns an
+        :class:`~repro.api.results.AnalyzeOutcome`.
+        """
+        from repro.analyze import analyze_cfg, correlate_sweep
+        from repro.api.results import AnalyzeOutcome
+        from repro.api.spec import AnalyzeSpec
+        from repro.cfg import recover_cfg
+
+        spec = spec if spec is not None else AnalyzeSpec()
+        spec.validate()
+        firmware = self._firmware_spec()
+        if firmware is None:
+            raise SpecError("analyze",
+                            "this scenario has no firmware to analyze")
+        build = self._ensure_firmware()
+        name = firmware.app or firmware.name
+        with METRICS.span("session.analyze"):
+            cfg = recover_cfg(build.program, name=name)
+            report = analyze_cfg(
+                cfg, build.program, variant=firmware.variant,
+                rules=spec.rules, stack_margin=spec.stack_margin,
+                irq_nesting=spec.irq_nesting)
+            fault_report = (fault_report if fault_report is not None
+                            else self.fault_report)
+            correlation = None
+            if fault_report is not None:
+                correlation = correlate_sweep(fault_report, cfg,
+                                              report.findings)
+        if events is not None:
+            for finding in report.findings:
+                events.emit(
+                    "analysis-finding", scenario=self.spec.name,
+                    firmware=name, variant=firmware.variant,
+                    rule=finding.rule, severity=finding.severity,
+                    pc=finding.pc, function=finding.function,
+                    message=finding.message)
+            events.flush()
+        self.analysis_report = report
+        doc = report.to_dict()
+        return AnalyzeOutcome(
+            scenario=self.spec.name,
+            workload=self.spec.workload,
+            name=report.name,
+            variant=report.variant,
+            ok=report.ok,
+            rules=tuple(doc["rules"]),
+            counts=doc["counts"],
+            findings=tuple(doc["findings"]),
+            stats=doc["stats"],
+            correlation=correlation,
+        )
 
     @staticmethod
     def _campaign_metrics() -> Optional[dict]:

@@ -369,6 +369,56 @@ class FaultSpec:
         return spec
 
 
+# ---- static analysis --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AnalyzeSpec:
+    """One static-analysis run over the scenario's firmware image.
+
+    ``rules`` selects the rule groups (default: all of them --
+    ``stack``, ``regions``, ``coverage``); ``stack_margin`` is the
+    minimum stack headroom (bytes) below which the stack rule warns;
+    ``irq_nesting`` is the worst-case number of nested interrupts the
+    stack bound assumes.
+    """
+
+    rules: Tuple[str, ...] = ("stack", "regions", "coverage")
+    stack_margin: int = 64
+    irq_nesting: int = 1
+
+    def validate(self, prefix="analyze"):
+        from repro.analyze.runner import RULE_GROUPS
+
+        _require(len(self.rules) > 0, f"{prefix}.rules",
+                 "at least one rule group is required")
+        unknown = sorted(set(self.rules) - set(RULE_GROUPS))
+        _require(not unknown, f"{prefix}.rules",
+                 f"unknown rule group(s) {', '.join(map(repr, unknown))}; "
+                 f"one of {', '.join(RULE_GROUPS)}")
+        _require(_int_like(self.stack_margin) and self.stack_margin >= 0,
+                 f"{prefix}.stack_margin", "must be an integer >= 0")
+        _require(_int_like(self.irq_nesting) and self.irq_nesting >= 0,
+                 f"{prefix}.irq_nesting", "must be an integer >= 0")
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "rules": list(self.rules),
+            "stack_margin": self.stack_margin,
+            "irq_nesting": self.irq_nesting,
+        }
+
+    @staticmethod
+    def from_dict(data: dict, prefix="analyze") -> "AnalyzeSpec":
+        _check_keys(data, ("rules", "stack_margin", "irq_nesting"), prefix)
+        return AnalyzeSpec(
+            rules=tuple(data.get("rules", AnalyzeSpec.rules)),
+            stack_margin=data.get("stack_margin", 64),
+            irq_nesting=data.get("irq_nesting", 1),
+        )
+
+
 _ALERT_OVERRIDE_KEYS = ("threshold", "window", "min_events", "severity")
 
 

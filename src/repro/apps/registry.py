@@ -1,7 +1,7 @@
 """Application registry: specs, sources, stimulus factories."""
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict
 
 from repro.apps import sources
 from repro.peripherals import Adc, AdcSchedule, Uart, Ultrasonic

@@ -19,6 +19,7 @@ from repro.attacks.isr import interrupt_context_tamper
 from repro.attacks.indirect import pointer_hijack, pointer_bend_to_valid_function
 from repro.attacks.injection import (
     code_injection,
+    ivt_overwrite,
     pmem_overwrite,
     shadow_stack_tamper,
     rom_mid_entry_jump,
@@ -35,6 +36,7 @@ ATTACKS = {
     "code_injection": code_injection,
     "pmem_overwrite": pmem_overwrite,
     "shadow_stack_tamper": shadow_stack_tamper,
+    "ivt_overwrite": ivt_overwrite,
     "rom_mid_entry_jump": rom_mid_entry_jump,
 }
 
@@ -67,6 +69,7 @@ __all__ = [
     "pointer_hijack",
     "pointer_bend_to_valid_function",
     "code_injection",
+    "ivt_overwrite",
     "pmem_overwrite",
     "shadow_stack_tamper",
     "rom_mid_entry_jump",

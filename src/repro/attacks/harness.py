@@ -2,7 +2,7 @@
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 from repro.attacks.victims import UNLOCK_MARKER, build_victim
 from repro.casu.monitor import Violation

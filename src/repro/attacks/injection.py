@@ -14,6 +14,7 @@ from repro.api.firmware import device_for
 from repro.api.spec import FirmwareSpec
 from repro.attacks.harness import AttackHarness, AttackOutcome, AttackResult
 from repro.attacks.victims import (
+    IVT_OVERWRITE_ASM,
     PMEM_WRITER_ASM,
     ROM_JUMP_ASM,
     SECURE_RAM_READER_ASM,
@@ -57,6 +58,9 @@ RAW_ATTACK_FIRMWARE = {
     "shadow_stack_tamper": FirmwareSpec(
         kind="asm", source=SECURE_RAM_READER_ASM, variant="original",
         name="raw-attack", link_rom=False),
+    "ivt_overwrite": FirmwareSpec(
+        kind="asm", source=IVT_OVERWRITE_ASM, variant="original",
+        name="raw-attack", link_rom=False),
     "rom_mid_entry_jump": FirmwareSpec(
         kind="asm", source=ROM_JUMP_ASM, variant="original",
         name="raw-attack", link_rom=True),
@@ -92,6 +96,13 @@ def shadow_stack_tamper(security: str) -> AttackResult:
     device = _run_raw_asm("shadow_stack_tamper", security)
     return _classify_raw(
         "shadow-stack-tamper", security, device, "shadow stack read+written"
+    )
+
+
+def ivt_overwrite(security: str) -> AttackResult:
+    device = _run_raw_asm("ivt_overwrite", security)
+    return _classify_raw(
+        "ivt-overwrite", security, device, "interrupt vector hijacked"
     )
 
 

@@ -35,7 +35,7 @@ def interrupt_context_tamper(security: str) -> AttackResult:
     unlock = harness.symbol("unlock")
     body, pc_offset = _isr_body_address(harness)
 
-    run = harness.run_to({body})
+    harness.run_to({body})
     if harness.device.cpu.pc != body:
         return harness.finish("interrupt-context-tamper", "ISR never entered")
     sp = harness.device.cpu.sp

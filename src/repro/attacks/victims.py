@@ -85,6 +85,25 @@ loop:
     jmp loop
 """
 
+IVT_OVERWRITE_ASM = """
+; Firmware that rewrites the timer interrupt vector to point at
+; attacker code, then arms the timer and waits for the hardware to
+; dispatch into it (models a vector-table hijack).
+    .text
+    .global main
+main:
+    mov #evil, &0xfff2      ; timer vector (9) -> attacker handler
+    mov #200, &0x0024       ; timer compare
+    mov #3, &0x0020         ; timer enable + irq
+    eint
+wait:
+    jmp wait
+evil:
+    mov #0xaa, &0x0010      ; hijack marker
+    mov #1, &0x0070         ; DONE
+    reti
+"""
+
 ROM_JUMP_ASM = """
 ; Firmware that branches into the middle of the trusted ROM, skipping
 ; the entry section (attempt to abuse S_EILID internals directly).

@@ -23,8 +23,8 @@ violation (hardware ORs the violation wires into one reset line).
 """
 
 import enum
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.cpu.core import StepKind
 from repro.memory.bus import AccessKind

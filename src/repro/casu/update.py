@@ -16,7 +16,7 @@ denied paths.
 import enum
 import hashlib
 import hmac
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.errors import UpdateError

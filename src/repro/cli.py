@@ -268,16 +268,22 @@ def _cmd_cfg_build(args):
         # by CfiPolicy.from_json (its own "format" key is preserved).
         from repro.api import envelope
 
-        _print_json(envelope("cfg.policy", **policy.to_dict()))
+        _print_json(envelope(
+            "cfg.policy",
+            indirect_targets_registered=policy.indirect_from_table,
+            indirect_target_count=len(policy.indirect_targets),
+            **policy.to_dict()))
         return EXIT_OK
     print(f"{cfg.name}: {len(cfg.insns)} instructions, "
           f"{len(cfg.functions)} functions, {cfg.block_count} blocks")
     print(f"  call sites: {len(cfg.call_sites)} "
           f"({sum(1 for s in cfg.call_sites if s.target is None)} indirect)")
     print(f"  return sites: {len(cfg.return_sites)}")
-    source = "EILID call table" if cfg.indirect_targets_registered \
-        else "discovered entries"
-    print(f"  indirect targets ({source}): "
+    source = ("EILID call table" if cfg.indirect_targets_registered
+              else "UNREGISTERED fallback: all discovered entries")
+    print(f"  indirect targets registered: "
+          f"{cfg.indirect_targets_registered}")
+    print(f"  indirect targets ({source}, {len(cfg.indirect_targets)}): "
           + ", ".join(f"0x{a:04x}" for a in cfg.indirect_targets))
     print(f"  ISR vectors: {len([v for v in cfg.vectors if v != 15])}, "
           f"reti sites: {len(cfg.reti_sites)}")
@@ -436,6 +442,87 @@ def _cmd_faults_sweep(args):
     else:
         print(report.render())
     return EXIT_OK
+
+
+# ---- static analysis --------------------------------------------------------
+
+
+def _cmd_analyze(args):
+    from repro.api import (
+        AnalyzeSpec,
+        FaultSpec,
+        ScenarioSpec,
+        SpecError,
+        envelope,
+    )
+
+    try:
+        if args.rules:
+            rules = tuple(r.strip() for r in args.rules.split(",")
+                          if r.strip())
+            spec = AnalyzeSpec(rules=rules, stack_margin=args.stack_margin,
+                               irq_nesting=args.irq_nesting)
+        else:
+            spec = AnalyzeSpec(stack_margin=args.stack_margin,
+                               irq_nesting=args.irq_nesting)
+        spec.validate()
+    except SpecError as error:
+        raise _UsageError(str(error)) from None
+
+    if args.attack:
+        scenario = ScenarioSpec(name=args.attack, attack=args.attack)
+    else:
+        from repro.api import FirmwareSpec
+
+        scenario = ScenarioSpec(
+            name=args.name,
+            firmware=FirmwareSpec(kind="app", app=args.name,
+                                  variant=args.variant))
+    session = _session(scenario)
+
+    fault_report = None
+    if args.sweep:
+        profiles = tuple(p.strip() for p in args.profiles.split(",")
+                         if p.strip())
+        try:
+            plan = FaultSpec(seed=args.seed, count=args.count,
+                             profiles=profiles).validate()
+        except SpecError as error:
+            raise _UsageError(str(error)) from None
+        fault_report = session.fault_sweep(plan)
+
+    events = None
+    if args.events:
+        from repro.obs.events import open_event_log
+
+        events = open_event_log(args.events)
+    try:
+        outcome = session.analyze(spec, events=events,
+                                  fault_report=fault_report)
+    finally:
+        if events is not None:
+            events.close()
+
+    if args.json:
+        _print_json(outcome.to_dict())
+    else:
+        print(session.analysis_report.render())
+        if outcome.correlation is not None:
+            clusters = outcome.correlation["clusters"]
+            proposals = outcome.correlation["proposals"]
+            print(f"sweep correlation: {len(clusters)} escape cluster(s), "
+                  f"{len(proposals)} proposed tightening(s)")
+            for cluster in clusters:
+                where = (f"block 0x{cluster['block']:04x}"
+                         if cluster["block"] is not None else "unmapped")
+                print(f"  [{cluster['profile']}] {where} "
+                      f"({cluster['function'] or '?'}): "
+                      f"{len(cluster['fault_ids'])} fault(s), "
+                      f"findings={len(cluster['findings'])}")
+            for proposal in proposals:
+                print(f"  propose {proposal['action']}: "
+                      f"{proposal['reason']}")
+    return EXIT_OK if outcome.ok else EXIT_SECURITY
 
 
 # ---- fleet -----------------------------------------------------------------
@@ -1094,6 +1181,39 @@ def main(argv=None):
                                      "to this event DB (watch with "
                                      "'fleet watch')")
     p_faults_sweep.set_defaults(func=_cmd_faults_sweep)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="static CFI/stack/memory lint over the recovered CFG")
+    p_analyze.add_argument("name", nargs="?", default="light_sensor",
+                           help="Table IV application name")
+    p_analyze.add_argument("--variant", choices=("original", "eilid"),
+                           default="original")
+    p_analyze.add_argument("--attack", default=None, metavar="NAME",
+                           help="analyze an attack scenario's firmware image "
+                                "instead of an application")
+    p_analyze.add_argument("--rules", default=None, metavar="R1,R2",
+                           help="comma-separated rule groups "
+                                "(default: stack,regions,coverage)")
+    p_analyze.add_argument("--stack-margin", type=int, default=64,
+                           help="minimum stack headroom (bytes) before the "
+                                "stack rule warns")
+    p_analyze.add_argument("--irq-nesting", type=int, default=1,
+                           help="worst-case nested interrupts the stack "
+                                "bound assumes")
+    p_analyze.add_argument("--sweep", action="store_true",
+                           help="run a fault sweep first and correlate "
+                                "escape clusters with the findings")
+    p_analyze.add_argument("--seed", type=int, default=0,
+                           help="sweep seed (with --sweep)")
+    p_analyze.add_argument("--count", type=int, default=48,
+                           help="sweep fault count (with --sweep)")
+    p_analyze.add_argument("--profiles", default="none,casu,eilid",
+                           help="sweep defense profiles (with --sweep)")
+    p_analyze.add_argument("--events", default=None, metavar="PATH",
+                           help="log analysis-finding events to this "
+                                "event DB")
+    add_json(p_analyze)
+    p_analyze.set_defaults(func=_cmd_analyze)
 
     p_fleet = sub.add_parser("fleet", help="simulate a managed device fleet")
     fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)

@@ -15,7 +15,7 @@ triggers a reset".
 
 import hashlib
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.casu.monitor import (

@@ -31,14 +31,14 @@ Passes (all statement-level, deterministic):
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.errors import InstrumentationError
 from repro.eilid.policy import EilidPolicy, RESERVED_REGISTER_NUMBERS
 from repro.isa.registers import PC, SR, SP
 from repro.toolchain.listing import parse_listing
 from repro.toolchain.operand_spec import OperandSpec, SpecKind
-from repro.toolchain.parser import AsmUnit, parse_source
+from repro.toolchain.parser import parse_source
 from repro.toolchain.statements import InsnStatement, LabelStatement
 from repro.toolchain.writer import render_unit
 

@@ -2,7 +2,7 @@
 the secure-memory plan (shadow stack + indirect-call table layout).
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.errors import InstrumentationError

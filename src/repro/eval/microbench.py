@@ -9,7 +9,6 @@ path (inserted `mov`+`call`, shim, ROM store, leave) and the check path
 listing anchors.
 """
 
-import statistics
 from dataclasses import dataclass
 
 from repro.device import build_device

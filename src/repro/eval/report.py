@@ -1,6 +1,6 @@
 """ASCII rendering helpers for tables and bar charts."""
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],

@@ -14,8 +14,8 @@ Paper values are attached to every row for side-by-side reporting.
 
 import statistics
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.apps.registry import APPS, TABLE_IV_ORDER
 from repro.apps.runtime import run_app

@@ -30,7 +30,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from itertools import repeat
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.eval.report import render_table
 from repro.faults.inject import run_faulted
@@ -132,7 +132,7 @@ class FaultCampaign:
                  profiles: Sequence[str] = FAULT_PROFILES,
                  backend: str = "thread", workers: Optional[int] = None,
                  max_cycles: int = 2_000_000, warmup_steps: int = 0,
-                 events=None):
+                 events=None, policy=None):
         unknown = sorted(set(profiles) - set(FAULT_PROFILES))
         if unknown:
             raise ValueError(f"unknown profile(s) {', '.join(unknown)}; "
@@ -147,6 +147,9 @@ class FaultCampaign:
         self.max_cycles = max_cycles
         self.warmup_steps = warmup_steps
         self.events = events
+        # Optional CfiPolicy: escapes additionally replay their branch
+        # trace against it (verifier-side grading; see run_faulted).
+        self.policy = policy
 
     # ---- golden path -----------------------------------------------------
 
@@ -210,6 +213,8 @@ class FaultCampaign:
                     "snapshot": snapshot_doc,
                     "golden": golden_doc,
                     "budget": budget,
+                    "policy": (None if self.policy is None
+                               else self.policy.to_dict()),
                 }
                 faults = [dict(fault) for fault in self.plan.faults]
                 if self.events is not None:
@@ -278,10 +283,16 @@ def _run_fault_shard(context: dict, fault_docs: List[dict]) -> dict:
     budget = context["budget"]
     golden_outputs = [tuple(event) for event in context["golden"]["outputs"]]
     golden_done_value = context["golden"]["done_value"]
+    policy = None
+    if context.get("policy") is not None:
+        from repro.cfg.policy import CfiPolicy
+
+        policy = CfiPolicy.from_dict(context["policy"])
     outcomes = []
     for fault in fault_docs:
         device = build_device(program, security=security)
         device.restore(snapshot_doc)
         outcomes.append(run_faulted(device, fault, budget,
-                                    golden_outputs, golden_done_value))
+                                    golden_outputs, golden_done_value,
+                                    policy=policy))
     return {"codec": WIRE_VERSION, "outcomes": outcomes}

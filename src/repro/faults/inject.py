@@ -62,11 +62,19 @@ def _trigger(device, fault: Dict) -> None:
 
 def run_faulted(device, fault: Dict, budget: int,
                 golden_outputs: List[Tuple[str, int]],
-                golden_done_value) -> Dict:
+                golden_done_value, policy=None) -> Dict:
     """Inject *fault* into *device* (already restored) and grade it.
 
     Returns the outcome wire dict: id/kind/pc plus ``outcome``, the
     first violation ``reason`` (when detected) and the cycles consumed.
+
+    With *policy* (a :class:`~repro.cfg.policy.CfiPolicy`), faults that
+    would grade ``escape`` or ``silent-corruption`` additionally replay
+    the device's branch trace against the policy -- the verifier-side
+    attestation check.  A rejected replay upgrades the outcome to
+    ``detected`` with reason ``replay:<why>``, which is what lets a
+    re-run sweep prove a proposed policy tightening converts escapes
+    into detections.
     """
     start_cycle = device.cycle
     violations = []
@@ -97,6 +105,13 @@ def run_faulted(device, fault: Dict, budget: int,
             outcome = "escape"
         else:
             outcome = "silent-corruption"
+    if policy is not None and outcome in ("escape", "silent-corruption"):
+        from repro.cfg.replay import replay_trace
+
+        replay = replay_trace(policy, device.trace_snapshot())
+        if not replay.ok:
+            outcome = "detected"
+            reason = f"replay:{replay.reason}"
     return {"id": fault["id"], "kind": fault["kind"], "pc": fault["pc"],
             "outcome": outcome, "reason": reason,
             "cycles": device.cycle - start_cycle}

@@ -23,7 +23,7 @@ report and for per-region filtering.
 """
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 FAULT_KINDS = ("imem-flip", "insn-skip", "reg-corrupt", "periph-corrupt")
 

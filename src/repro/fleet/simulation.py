@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.api.firmware import build_firmware
 from repro.api.spec import FirmwareSpec
-from repro.casu.update import UpdateKey, UpdatePackage
+from repro.casu.update import UpdatePackage
 from repro.device import Device, build_device
 from repro.fleet.campaign import CampaignConfig, CampaignReport, RolloutCampaign
 from repro.fleet.protocol import AttestResult, DeviceAgent, VerifierSession

@@ -15,7 +15,7 @@ MAC/version check), exactly because the channel is untrusted.
 
 import random
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 

@@ -9,7 +9,6 @@ disassembler and tests.
 from repro.errors import DecodingError
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import (
-    Format,
     FORMAT1_BY_CODE,
     FORMAT2_BY_CODE,
     JUMP_BY_CODE,

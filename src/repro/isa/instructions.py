@@ -1,7 +1,7 @@
 """Decoded-instruction container shared by encoder, decoder and CPU."""
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import IsaError
 from repro.isa.opcodes import Format, Opcode

@@ -8,7 +8,7 @@ tables in this package by a unit test; the AVR and PIC16 descriptors are
 data used for the table and for the instrumenter's portability layer.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 

@@ -75,6 +75,7 @@ EVENT_KINDS = (
     "alert",
     "fault-inject",
     "fault-outcome",
+    "analysis-finding",
 )
 
 

@@ -1,7 +1,7 @@
 """Peripheral base class."""
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 
 @dataclass(frozen=True)

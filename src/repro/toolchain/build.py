@@ -11,7 +11,7 @@ unchanged source) are reused.
 
 import hashlib
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.memory.map import MemoryLayout

@@ -14,8 +14,8 @@ All labels are program-global (no per-unit visibility); duplicates are
 link errors.
 """
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.errors import LinkError, RangeError, SymbolError
 from repro.isa import encode

@@ -24,7 +24,7 @@ from typing import Optional
 from repro.errors import AsmSyntaxError
 from repro.isa.operands import CG_CONSTANTS, Operand
 from repro.isa.registers import parse_register
-from repro.toolchain.expr import eval_expr, is_pure_literal, literal_value, tokenize
+from repro.toolchain.expr import eval_expr, is_pure_literal
 
 
 class SpecKind(enum.Enum):

@@ -12,7 +12,7 @@ entry; the reset vector is ``.vector 15, __start``).
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, Set
 
 from repro.errors import AsmSyntaxError
 from repro.toolchain.expr import eval_expr, is_pure_literal

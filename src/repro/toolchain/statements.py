@@ -1,7 +1,7 @@
 """Parsed statement model for assembly translation units."""
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import AsmSyntaxError
 from repro.isa.opcodes import lookup, Format, JUMP_ALIASES

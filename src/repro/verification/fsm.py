@@ -10,7 +10,7 @@ machine over bus signals).
 
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence
 
 from repro.errors import VerificationError
 

@@ -17,7 +17,7 @@ are reconstructed for failures.
 """
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.verification.fsm import Fsm, Inputs

@@ -9,7 +9,7 @@ averaging ~11%; the per-app ordering of the extremes is preserved.
 
 import pytest
 
-from repro.apps.registry import APPS, TABLE_IV_ORDER
+from repro.apps.registry import TABLE_IV_ORDER
 from repro.eval.paper_data import PAPER_TABLE4
 
 

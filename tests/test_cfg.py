@@ -10,6 +10,8 @@ The acceptance spine:
   trace while leaving the healthy fleet active.
 """
 
+import json
+
 import pytest
 
 from repro.apps.registry import APPS, TABLE_IV_ORDER
@@ -463,6 +465,39 @@ class TestCfgCli:
         assert main(["cfg", "build", "light_sensor", "--json"]) == 0
         policy = CfiPolicy.from_json(capsys.readouterr().out)
         assert policy.return_sites
+
+    def test_cfg_build_reports_registered_call_table(self, capsys):
+        # The eilid build carries the EILID call table, so the policy's
+        # indirect targets are registered (not a discovery fallback).
+        from repro.cli import main
+
+        assert main(["cfg", "build", "fire_sensor"]) == 0
+        out = capsys.readouterr().out
+        assert "indirect targets registered: True" in out
+        assert "EILID call table" in out
+
+        assert main(["cfg", "build", "fire_sensor", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["indirect_targets_registered"] is True
+        assert doc["indirect_target_count"] == len(doc["indirect_targets"])
+        assert doc["indirect_target_count"] > 0
+
+    def test_cfg_build_reports_unregistered_fallback(self, capsys):
+        # An uninstrumented build has no call table: the policy falls
+        # back to every discovered entry and must say so loudly.
+        from repro.cli import main
+
+        assert main(["cfg", "build", "fire_sensor",
+                     "--variant", "original"]) == 0
+        out = capsys.readouterr().out
+        assert "indirect targets registered: False" in out
+        assert "UNREGISTERED fallback" in out
+
+        assert main(["cfg", "build", "fire_sensor",
+                     "--variant", "original", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["indirect_targets_registered"] is False
+        assert doc["indirect_target_count"] == len(doc["indirect_targets"])
 
     def test_cfg_verify_trace_exit_codes(self, capsys):
         from repro.cli import main

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.cpu import Cpu, InterruptController
-from repro.isa.registers import FLAG_C, FLAG_GIE, FLAG_N, FLAG_V, FLAG_Z, SP, SR
+from repro.isa.registers import FLAG_C, FLAG_N, FLAG_V, FLAG_Z, SP
 from repro.memory import Bus
 from repro.toolchain import link, parse_source
 

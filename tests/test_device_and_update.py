@@ -1,12 +1,10 @@
 """Device composition: reset semantics, rollback, CASU secure update."""
 
-import pytest
 
 from repro.casu.monitor import ViolationReason
 from repro.casu.update import UpdateKey, UpdatePackage, UpdateStatus
 from repro.device import build_device
 from repro.eilid.iterbuild import IterativeBuild
-from repro.toolchain import link, parse_source
 from repro.toolchain.build import SourceModule
 
 

@@ -7,7 +7,6 @@ from repro.eilid.iterbuild import IterativeBuild
 from repro.eilid.policy import EilidPolicy
 from repro.errors import ConvergenceError, InstrumentationError
 from repro.toolchain import parse_source
-from repro.toolchain.statements import InsnStatement, LabelStatement
 from repro.toolchain.writer import render_statement
 
 CRT = """

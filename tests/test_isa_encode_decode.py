@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import DecodingError, EncodingError
-from repro.isa import decode, encode, Instruction
+from repro.isa import encode, Instruction
 from repro.isa.decode import decode_words
 from repro.isa.opcodes import (
     FORMAT1_OPCODES,

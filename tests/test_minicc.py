@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.minicc import compile_c
 from repro.minicc.lexer import CCompileError, tokenize
 from repro.minicc.parser import parse_c
 from repro.minicc.sema import analyse

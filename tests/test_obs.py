@@ -349,7 +349,7 @@ class TestTelemetryFolding:
         fleet.corrupt_firmware(victim)
         device = fleet.devices[victim]
         assert device.violation_totals  # the fault fired
-        result = fleet.session(victim).attest()
+        fleet.session(victim).attest()
         old_violations = dict(fleet.telemetry.violations)
         assert old_violations  # the live fold saw the delta
         assert fleet.registry.get(victim).violation_totals

@@ -13,7 +13,6 @@ from repro.peripherals import (
     Timer,
     Uart,
     Ultrasonic,
-    ports,
 )
 from repro.peripherals import ports as P
 
@@ -86,7 +85,7 @@ class TestTimer:
 
 class TestAdc:
     def test_sample_indexed_schedule(self, bus):
-        adc = attach(Adc(AdcSchedule({2: AdcSchedule.steps(2, [100, 200])})), bus)
+        attach(Adc(AdcSchedule({2: AdcSchedule.steps(2, [100, 200])})), bus)
         values = []
         for _ in range(4):
             bus.write_word(P.ADC_CTL, P.ADC_START | 2)
@@ -98,7 +97,7 @@ class TestAdc:
         bus.write_word(P.ADC_CTL, P.ADC_START | 0)
         first = bus.read_word(P.ADC_DATA)
         bus.write_word(P.ADC_CTL, P.ADC_START | 1)  # default triangle
-        second = bus.read_word(P.ADC_DATA)
+        bus.read_word(P.ADC_DATA)
         assert first == 7
         assert adc.channel_counts == {0: 1, 1: 1}
 

@@ -16,7 +16,6 @@ import signal
 import subprocess
 import sys
 import threading
-import time
 
 import pytest
 

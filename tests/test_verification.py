@@ -1,6 +1,5 @@
 """Model checker, monitor property FSMs, runtime oracles."""
 
-import pytest
 
 from repro.verification import (
     ControlFlowOracle,
@@ -11,7 +10,6 @@ from repro.verification import (
     reachable_states,
 )
 from repro.verification.properties import (
-    MONITOR_PROPERTIES,
     check_all,
     pmem_guard_fsm,
     pmem_guard_fsm_buggy,
@@ -129,7 +127,7 @@ class TestMonitorProperties:
 
     def test_fsm_mirrors_concrete_monitor(self):
         """Abstract FSM and concrete sub-monitor agree on a scenario."""
-        from repro.casu.monitor import PmemGuardMonitor, ViolationReason
+        from repro.casu.monitor import PmemGuardMonitor
         from repro.cpu.core import StepKind, StepRecord
         from repro.memory.bus import Access, AccessKind
         from repro.memory.map import MemoryLayout
